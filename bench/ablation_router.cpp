@@ -1,0 +1,65 @@
+// Ablation: routing-grid resolution and intelligent buffer sizing
+// (the starred design choices in DESIGN.md / Sec 4.2.2).
+//
+//  * grid R in {15, 30, 45, 60} cells per bounding-box dimension: the
+//    paper defaults to R = 45; finer grids expose more candidate
+//    buffer locations at more routing time;
+//  * intelligent sizing on/off: pick the type whose end slew lands
+//    closest under the target vs always the smallest feasible type;
+//  * 1-type vs 3-type buffer library.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "delaylib/analytic_model.h"
+
+int main() {
+    using namespace ctsim;
+    bench::print_header("Ablation -- routing grid, intelligent sizing, library richness");
+    const auto spec = *bench_io::find_benchmark("r1");
+    const auto sinks = bench_io::generate(spec);
+
+    std::printf("%-28s %10s %9s %9s %9s %8s\n", "variant", "slew[ps]", "skew[ps]",
+                "lat[ns]", "buffers", "syn[s]");
+    const auto run = [&](const char* name, const cts::SynthesisOptions& opt,
+                         const delaylib::DelayModel& model) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = cts::synthesize(sinks, model, opt);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        sim::NetlistSimOptions so;
+        so.solver.dt_ps = 1.0;
+        const auto rep = sim::simulate_netlist(
+            res.tree.to_netlist(res.root, bench::tek(), model.buffers(), res.source_buffer),
+            bench::tek(), model.buffers(), so);
+        std::printf("%-28s %10.1f %9.2f %9.3f %9d %8.2f\n", name, rep.worst_slew_ps,
+                    rep.skew_ps, rep.max_latency_ps / 1000.0, res.buffer_count, secs);
+        return rep;
+    };
+
+    for (int grid : {15, 30, 45, 60}) {
+        cts::SynthesisOptions opt;
+        opt.grid_cells_per_dim = grid;
+        char name[64];
+        std::snprintf(name, sizeof name, "grid R=%d", grid);
+        run(name, opt, bench::fitted());
+    }
+
+    cts::SynthesisOptions naive;
+    naive.intelligent_sizing = false;
+    run("sizing: smallest feasible", naive, bench::fitted());
+    cts::SynthesisOptions smart;
+    run("sizing: intelligent (paper)", smart, bench::fitted());
+
+    // Library richness uses the analytic model (a fitted library is
+    // buffer-set specific and characterizing a second one here would
+    // dominate the runtime). The buffer libraries must outlive the
+    // models, which hold references to them.
+    const tech::BufferLibrary single_lib = tech::BufferLibrary::single(bench::tek(), 30.0);
+    const delaylib::AnalyticModel one_type(bench::tek(), single_lib);
+    const delaylib::AnalyticModel three_types(bench::tek(), bench::buflib());
+    cts::SynthesisOptions lopt;
+    run("library: single 30X type*", lopt, one_type);
+    run("library: 3 types (paper)*", lopt, three_types);
+    std::printf("(*analytic delay model rows; compare against each other only)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: topology-generation policies.
+//
+//  * seed-node selection for odd levels: max latency (the paper's
+//    choice, Sec 4.1.1) vs random -- the paper claims max-latency
+//    "outperforms the greedy algorithm introduced in [22]";
+//  * matching: greedy farthest-from-centroid vs Drake-Hougardy path
+//    growing [22];
+//  * the eq. 4.1 cost weight beta (delay-difference term).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+    using namespace ctsim;
+    bench::print_header("Ablation -- seed policy, matching policy, cost weights");
+
+    std::printf("%-34s %8s | %10s %9s %9s %9s\n", "variant", "bench", "slew[ps]",
+                "skew[ps]", "lat[ns]", "wl[m]");
+    const auto run = [&](const char* name, const bench_io::BenchmarkSpec& spec,
+                         const cts::SynthesisOptions& opt) {
+        const bench::InstanceResult r = bench::run_instance(spec, opt);
+        std::printf("%-34s %8s | %10.1f %9.2f %9.3f %9.2f\n", name, spec.name.c_str(),
+                    r.sim.worst_slew_ps, r.sim.skew_ps, r.sim.max_latency_ps / 1000.0,
+                    r.synth.wire_length_um / 1e6);
+        return r.sim.skew_ps;
+    };
+
+    for (const char* bname : {"r1", "f11"}) {
+        const auto spec = *bench_io::find_benchmark(bname);
+
+        cts::SynthesisOptions base;
+        const double skew_maxlat = run("seed: max latency (paper)", spec, base);
+
+        cts::SynthesisOptions rnd;
+        rnd.seed_policy = cts::SeedPolicy::random;
+        run("seed: random", spec, rnd);
+
+        cts::SynthesisOptions pg;
+        pg.matching = cts::MatchingPolicy::path_growing;
+        run("matching: path growing [22]", spec, pg);
+
+        cts::SynthesisOptions nodelay;
+        nodelay.cost_beta = 0.0;
+        run("cost: beta=0 (distance only)", spec, nodelay);
+
+        cts::SynthesisOptions heavy;
+        heavy.cost_beta = 100.0;
+        run("cost: beta=100 (delay heavy)", spec, heavy);
+
+        (void)skew_maxlat;
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints a self-contained table to stdout: the
+// paper's published numbers (where the table/figure reports any) next
+// to our measurements, so `for b in build/bench/*; do $b; done`
+// regenerates the whole evaluation section.
+#ifndef CTSIM_BENCH_BENCH_UTIL_H
+#define CTSIM_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_io/synthetic.h"
+#include "cts/synthesizer.h"
+#include "delaylib/fitted_library.h"
+#include "sim/netlist_sim.h"
+
+namespace ctsim::bench {
+
+inline const tech::Technology& tek() {
+    static tech::Technology t = tech::Technology::ptm45_aggressive();
+    return t;
+}
+
+inline const tech::BufferLibrary& buflib() {
+    static tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tek());
+    return lib;
+}
+
+/// Full-grid fitted delay/slew library, cached on disk next to the
+/// bench binaries (first run pays ~10 s of characterization).
+inline const delaylib::FittedLibrary& fitted() {
+    static std::unique_ptr<delaylib::FittedLibrary> lib =
+        delaylib::FittedLibrary::load_or_characterize("ctsim_delaylib_45nm.cache", tek(),
+                                                      buflib(), {});
+    return *lib;
+}
+
+struct InstanceResult {
+    sim::NetlistSimReport sim;
+    cts::SynthesisResult synth;
+    double synth_seconds{0.0};
+};
+
+/// Synthesize + transient-verify one benchmark instance (the Table
+/// 5.1/5.2 protocol: "obtained from SPICE simulation of the clock
+/// tree netlist").
+inline InstanceResult run_instance(const bench_io::BenchmarkSpec& spec,
+                                   const cts::SynthesisOptions& opt) {
+    InstanceResult out;
+    const auto sinks = bench_io::generate(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    out.synth = cts::synthesize(sinks, fitted(), opt);
+    out.synth_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const circuit::Netlist net = out.synth.netlist(tek(), buflib());
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 1.0;
+    out.sim = sim::simulate_netlist(net, tek(), buflib(), so);
+    return out;
+}
+
+inline void print_header(const char* title) {
+    std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace ctsim::bench
+
+#endif  // CTSIM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,62 @@
+// Section 4.3: complexity. The claimed bottleneck is nearest-neighbor
+// selection in topology generation (O(n^2 lg n) per level), with O(l^2)
+// routing per merge. We sweep the sink count at fixed die span and the
+// die span at fixed sink count and report measured scaling exponents.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace ctsim;
+
+double synth_seconds(int sinks, double span, unsigned seed) {
+    bench_io::BenchmarkSpec spec;
+    spec.name = "scal";
+    spec.sink_count = sinks;
+    spec.die_span_um = span;
+    spec.seed = seed;
+    const auto s = bench_io::generate(spec);
+    cts::SynthesisOptions opt;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = cts::synthesize(s, bench::fitted(), opt);
+    (void)res;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Section 4.3 -- runtime scaling");
+
+    std::printf("sink-count sweep (die 40 mm):\n%10s %12s\n", "sinks", "seconds");
+    double t_first = 0.0, t_last = 0.0;
+    int n_first = 0, n_last = 0;
+    for (int n : {100, 200, 400, 800, 1600, 3200}) {
+        const double t = synth_seconds(n, 40000.0, 11);
+        std::printf("%10d %12.3f\n", n, t);
+        if (n_first == 0) {
+            n_first = n;
+            t_first = t;
+        }
+        n_last = n;
+        t_last = t;
+    }
+    const double exp_n = std::log(t_last / t_first) /
+                         std::log(static_cast<double>(n_last) / n_first);
+    std::printf("measured exponent vs n: %.2f (paper bound: O(n^2 lg n) per level "
+                "topology + O(n) merges; sub-quadratic here because routing grids are "
+                "bounded)\n\n",
+                exp_n);
+
+    std::printf("die-span sweep (400 sinks):\n%12s %12s\n", "span [mm]", "seconds");
+    for (double span : {10000.0, 20000.0, 40000.0, 80000.0}) {
+        const double t = synth_seconds(400, span, 13);
+        std::printf("%12.0f %12.3f\n", span / 1000.0, t);
+    }
+    std::printf("(span enters through the dynamically-grown routing grids: the paper's "
+                "O(l^2) term)\n");
+    return 0;
+}

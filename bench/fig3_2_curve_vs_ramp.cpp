@@ -1,0 +1,90 @@
+// Figure 3.2 (with the Figure 3.1 circuit): two inputs with the SAME
+// 10-90% slew -- a realistic curved edge vs an ideal ramp -- produce
+// output waveforms shifted by tens of picoseconds (the paper measures
+// 32 ps at 150 ps slew). This is why ramp-approximation delay models
+// ([20][21]) are insufficient and the library is characterized with
+// real buffer-output waveforms.
+//
+// The "curve" is produced exactly as in Fig 3.1: an input buffer
+// driving a long wire distorts the edge into a slow-start /
+// long-tail waveform whose 10-90% slew we measure, and an ideal ramp
+// with that same slew is the comparison input.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "circuit/rc_tree.h"
+#include "sim/stage_solver.h"
+
+namespace {
+
+using namespace ctsim;
+
+/// The measured circuit (Fig 3.1): Bdrive -> wire -> Bload's input.
+struct Measurement {
+    double out_t50;
+    double out_slew;
+};
+
+Measurement drive(const sim::Waveform& input) {
+    const tech::Technology& tk = bench::tek();
+    const tech::BufferLibrary& lib = bench::buflib();
+    circuit::RcTree t;
+    const int end = t.add_wire(0, 1500.0, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, 30);
+    t.add_cap(end, lib.type(1).input_cap_ff(tk));
+    sim::SolverOptions opt;
+    opt.dt_ps = 0.25;
+    const sim::StageResult r = sim::simulate_stage(t, &lib.type(1), input, {}, tk, opt);
+    return {r.node_timing[end].t50.value_or(-1), r.node_timing[end].slew().value_or(-1)};
+}
+
+/// Fig 3.1's Binput + Linput: shape a realistic curved waveform.
+sim::Waveform shaped_curve(double input_len_um) {
+    const tech::Technology& tk = bench::tek();
+    const tech::BufferLibrary& lib = bench::buflib();
+    circuit::RcTree t;
+    const int end = t.add_wire(0, input_len_um, tk.wire_res_kohm_per_um,
+                               tk.wire_cap_ff_per_um,
+                               std::max(1, static_cast<int>(input_len_um / 50.0)));
+    t.add_cap(end, lib.type(1).input_cap_ff(tk));
+    sim::SolverOptions opt;
+    opt.dt_ps = 0.25;
+    const sim::Waveform ramp = sim::Waveform::ramp(tk.vdd, 60.0, 10.0, 0.25);
+    const sim::StageResult r = sim::simulate_stage(t, &lib.type(1), ramp, {end}, tk, opt);
+    return r.tap_waveforms[0];
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 3.2 -- curve vs ramp input at identical 10-90% slew");
+
+    // The paper's setup applies both equal-slew inputs starting at the
+    // same instant (transition start); the output then shifts because
+    // the curved edge places its 50% crossing asymmetrically inside
+    // the 10-90% window. The residual "pure shape" effect with the
+    // inputs re-aligned at their 50% crossings is reported as well.
+    std::printf("%12s %12s | %16s %16s\n", "curve slew", "Linput [um]",
+                "shift@start [ps]", "shift@t50 [ps]");
+    bool reproduced = false;
+    for (double lin : {2500.0, 3500.0, 4500.0}) {
+        const sim::Waveform curve = shaped_curve(lin);
+        const double slew = curve.slew_10_90(1.0).value_or(0.0);
+        const sim::Waveform ramp = sim::Waveform::ramp(1.0, slew, 50.0, 0.25);
+
+        const Measurement mc = drive(curve);
+        const Measurement mr = drive(ramp);
+        // Start-aligned (the paper's measurement): inputs coincide at
+        // their 10% crossings.
+        const double start_shift = (mc.out_t50 - *curve.crossing_time(0.1)) -
+                                   (mr.out_t50 - *ramp.crossing_time(0.1));
+        // Mid-aligned: inputs coincide at their 50% crossings.
+        const double mid_shift =
+            (mc.out_t50 - *curve.t50(1.0)) - (mr.out_t50 - *ramp.t50(1.0));
+        std::printf("%9.1f ps %12.0f | %16.2f %16.2f\n", slew, lin, start_shift, mid_shift);
+        if (slew > 120.0 && (start_shift > 15.0 || start_shift < -15.0)) reproduced = true;
+    }
+    std::printf("\npaper: 32 ps shift at 150 ps slew. shape check: equal-slew inputs "
+                "shift the buffer output by tens of ps -> %s\n",
+                reproduced ? "reproduced" : "NOT reproduced");
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3.4: buffer intrinsic delay as a function of input slew and
+// load wire length, with the 4th-order polynomial surface fit used by
+// the delay/slew library (Sec 3.2.1). Prints the characterized grid
+// and the fit quality for every driver/load pair.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "delaylib/characterizer.h"
+
+int main() {
+    using namespace ctsim;
+    bench::print_header("Figure 3.4 -- buffer intrinsic delay surface + fit quality");
+
+    delaylib::Characterizer ch(bench::tek(), bench::buflib());
+    sim::SolverOptions sopt;
+    sopt.dt_ps = 0.5;
+
+    std::printf("driver 10X -> load 10X; rows: input wire (shapes input slew), "
+                "cols: load wire length\n\n");
+    const double input_lens[] = {1.0, 1000.0, 2200.0, 3600.0};
+    const double wire_lens[] = {100.0, 1000.0, 2200.0, 3400.0, 4500.0};
+    std::printf("%22s", "");
+    for (double lw : wire_lens) std::printf("  L=%-7.0f", lw);
+    std::printf("\n");
+    for (double lin : input_lens) {
+        double slew_seen = 0.0;
+        std::printf("  ");
+        double row[5];
+        int k = 0;
+        for (double lw : wire_lens) {
+            const auto s = ch.measure_single(0, 0, lin, lw, sopt);
+            row[k++] = s.buffer_delay_ps;
+            slew_seen = s.input_slew_ps;
+        }
+        std::printf("slew_in=%6.1f ps:", slew_seen);
+        for (int i = 0; i < k; ++i) std::printf("  %7.2f  ", row[i]);
+        std::printf("\n");
+    }
+
+    std::printf("\nfit residuals over the full characterization grid "
+                "(4th-order surfaces, Sec 3.2.1):\n");
+    std::printf("%8s %8s %20s %12s %12s\n", "driver", "load", "quantity", "max|err| ps",
+                "rms ps");
+    double worst = 0.0;
+    for (const auto& e : bench::fitted().report().entries) {
+        if (e.quantity.rfind("branch", 0) == 0) continue;  // Fig 3.6/3.7 bench
+        std::printf("%8d %8d %20s %12.3f %12.3f\n", e.driver, e.load, e.quantity.c_str(),
+                    e.residuals.max_abs, e.residuals.rms);
+        worst = std::max(worst, e.residuals.max_abs);
+    }
+    std::printf("\nshape check: low-order polynomial fits the surface to a few ps "
+                "(worst %.2f ps) -> %s\n",
+                worst, worst < 10.0 ? "reproduced" : "NOT reproduced");
+    return 0;
+}

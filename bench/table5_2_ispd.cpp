@@ -1,0 +1,35 @@
+// Table 5.2: ISPD 2009 benchmarks f11-fnb1.
+//
+// The paper's claim on these large dies: slew bounded by 100 ps and
+// "all skews are within 3% of maximum latency".
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+    using namespace ctsim;
+    bench::print_header("Table 5.2 -- ISPD 2009 benchmarks (synthetic stand-ins)");
+    std::printf("%-5s %6s | %10s %9s %9s %8s | %10s %8s %8s\n", "", "sinks", "slew[ps]",
+                "skew[ps]", "lat[ns]", "skew/lat", "p.slew", "p.skew", "p.lat");
+
+    bool all_slew_ok = true;
+    int within3 = 0, total = 0;
+    for (const auto& spec : bench_io::ispd_suite()) {
+        cts::SynthesisOptions opt;
+        const bench::InstanceResult r = bench::run_instance(spec, opt);
+        const double ratio = r.sim.skew_ps / r.sim.max_latency_ps;
+        std::printf("%-5s %6d | %10.1f %9.2f %9.3f %7.1f%% | %10.1f %8.1f %8.2f\n",
+                    spec.name.c_str(), spec.sink_count, r.sim.worst_slew_ps, r.sim.skew_ps,
+                    r.sim.max_latency_ps / 1000.0, 100.0 * ratio, spec.paper_worst_slew_ps,
+                    spec.paper_skew_ps, spec.paper_latency_ns);
+        if (r.sim.worst_slew_ps > opt.slew_limit_ps) all_slew_ok = false;
+        total += 1;
+        if (ratio <= 0.03) within3 += 1;
+    }
+
+    std::printf("\nshape checks: worst slew <= 100 ps on every instance: %s; "
+                "skew within 3%% of latency on %d/%d instances "
+                "(paper: all; small ratios expected on these large dies)\n",
+                all_slew_ok ? "yes" : "NO", within3, total);
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Library characterization as a standalone workflow (Chapter 3).
+//
+//   $ ./build/examples/characterize_library out.lib
+//
+// Runs the Fig 3.3 / Fig 3.5 sweeps against the transient simulator,
+// fits the polynomial surfaces, prints the fit report and a few
+// sample queries, and saves the library for later `load()`.
+#include <cstdio>
+#include <fstream>
+
+#include "delaylib/fitted_library.h"
+
+int main(int argc, char** argv) {
+    using namespace ctsim;
+    const tech::Technology tk = tech::Technology::ptm45_aggressive();
+    const tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tk);
+
+    std::printf("characterizing %d buffer types (single-wire + branch sweeps)...\n",
+                lib.count());
+    delaylib::FitOptions opt;  // full grid, 4th/2nd order fits
+    const auto model = delaylib::FittedLibrary::characterize(tk, lib, opt);
+
+    std::printf("\nfit report (max|err| / rms, ps):\n");
+    for (const auto& e : model->report().entries)
+        std::printf("  d=%d l=%d %-22s %7.3f / %7.3f\n", e.driver, e.load,
+                    e.quantity.c_str(), e.residuals.max_abs, e.residuals.rms);
+
+    std::printf("\nsample queries (driver 20X, load 10X):\n");
+    for (double slew : {30.0, 80.0, 140.0})
+        for (double len : {500.0, 2000.0, 4000.0})
+            std::printf("  slew_in %5.0f ps, wire %5.0f um -> buffer %6.2f ps, wire "
+                        "%6.2f ps, end slew %6.1f ps\n",
+                        slew, len, model->buffer_delay(1, 0, slew, len),
+                        model->wire_delay(1, 0, slew, len), model->wire_slew(1, 0, slew, len));
+
+    const char* path = argc > 1 ? argv[1] : "ctsim_delaylib_45nm.cache";
+    std::ofstream out(path);
+    model->save(out);
+    std::printf("\nsaved library to %s\n", path);
+    return 0;
+}

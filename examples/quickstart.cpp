@@ -1,0 +1,59 @@
+// Quickstart: synthesize a small buffered clock tree and verify it
+// with the transient simulator.
+//
+//   $ ./build/examples/quickstart
+//
+// Uses the fast analytic delay model so it runs in milliseconds; see
+// gsrc_flow.cpp for the full characterized-library flow.
+#include <cstdio>
+
+#include "cts/synthesizer.h"
+#include "delaylib/analytic_model.h"
+#include "sim/netlist_sim.h"
+
+int main() {
+    using namespace ctsim;
+
+    // 1. Technology and buffer library (45 nm-like, the paper's 10x
+    //    wire parasitics).
+    const tech::Technology tk = tech::Technology::ptm45_aggressive();
+    const tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tk);
+
+    // 2. A delay/slew model. AnalyticModel is instant; FittedLibrary
+    //    (characterized against the transient simulator) is what the
+    //    paper's experiments use.
+    const delaylib::AnalyticModel model(tk, lib);
+
+    // 3. Clock sinks: position [um] and input capacitance [fF].
+    const std::vector<cts::SinkSpec> sinks = {
+        {{200, 300}, 12.0, "ff0"},   {{4800, 700}, 18.0, "ff1"},
+        {{2500, 2500}, 10.0, "ff2"}, {{300, 4600}, 25.0, "ff3"},
+        {{4700, 4500}, 15.0, "ff4"}, {{1200, 3900}, 12.0, "ff5"},
+        {{3800, 1300}, 20.0, "ff6"},
+    };
+
+    // 4. Synthesize with a 100 ps slew limit (80 ps synthesis target).
+    cts::SynthesisOptions opt;
+    opt.slew_limit_ps = 100.0;
+    opt.slew_target_ps = 80.0;
+    const cts::SynthesisResult result = cts::synthesize(sinks, model, opt);
+
+    std::printf("synthesized %zu-sink tree: %d levels, %d buffers, %.1f mm wire\n",
+                sinks.size(), result.levels, result.buffer_count,
+                result.wire_length_um / 1000.0);
+    std::printf("model-estimated skew: %.2f ps\n",
+                result.root_timing.max_ps - result.root_timing.min_ps);
+
+    // 5. Verify with the transient simulator (the repository's SPICE
+    //    substitute) -- the measurement the paper's tables report.
+    const circuit::Netlist net = result.netlist(tk, lib);
+    const sim::NetlistSimReport rep = sim::simulate_netlist(net, tk, lib);
+    std::printf("transient verification: worst slew %.1f ps (limit %.0f), skew %.2f ps, "
+                "max latency %.1f ps\n",
+                rep.worst_slew_ps, opt.slew_limit_ps, rep.skew_ps, rep.max_latency_ps);
+    for (const sim::SinkArrival& a : rep.arrivals)
+        std::printf("  sink %-4s arrival %8.2f ps  slew %6.1f ps\n",
+                    net.node(a.net_node).name.c_str(), a.t50_ps - rep.source_t50_ps,
+                    a.slew_ps);
+    return rep.worst_slew_ps <= opt.slew_limit_ps ? 0 : 1;
+}

@@ -1,0 +1,163 @@
+#include "baseline/dme.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "cts/topology.h"
+
+namespace ctsim::baseline {
+
+double zero_skew_split(double t1, double t2, double c1, double c2, double l,
+                       double alpha_res_per_um, double beta_cap_per_um) {
+    const double a = alpha_res_per_um;
+    const double b = beta_cap_per_um;
+    const double denom = a * l * (c1 + c2 + b * l);
+    if (denom <= 0.0) return 0.5;
+    return ((t2 - t1) + a * l * (c2 + b * l / 2.0)) / denom;
+}
+
+double detour_length(double delay_gap_ps, double c_fast_ff, double alpha_res_per_um,
+                     double beta_cap_per_um) {
+    // alpha*L*(beta*L/2 + c) = gap  ->  (a b / 2) L^2 + a c L - gap = 0.
+    const double a = alpha_res_per_um;
+    const double b = beta_cap_per_um;
+    if (delay_gap_ps <= 0.0) return 0.0;
+    const double disc = a * a * c_fast_ff * c_fast_ff + 2.0 * a * b * delay_gap_ps;
+    return (-a * c_fast_ff + std::sqrt(disc)) / (a * b);
+}
+
+namespace {
+
+struct DmeNode {
+    geom::Trr region;
+    double t{0.0};    ///< zero-skew delay from this (future) node to sinks
+    double cap{0.0};  ///< downstream capacitance
+    int child_a{-1};
+    int child_b{-1};
+    double wire_a{0.0};
+    double wire_b{0.0};
+    int sink{-1};  ///< ClockTree sink id for leaves
+};
+
+}  // namespace
+
+DmeResult dme_synthesize(const std::vector<cts::SinkSpec>& sinks, const tech::Technology& tech,
+                         const DmeOptions& opt) {
+    if (sinks.empty()) throw std::invalid_argument("dme: no sinks");
+    const double a = tech.wire_res_kohm_per_um;  // [kOhm/um] -> ps units work out
+    const double b = tech.wire_cap_ff_per_um;
+
+    DmeResult out;
+    std::vector<DmeNode> nodes;
+    std::vector<int> roots;  // indices into `nodes`
+    nodes.reserve(sinks.size() * 2);
+    for (const cts::SinkSpec& s : sinks) {
+        DmeNode n;
+        n.region = geom::Trr::point(s.pos);
+        n.cap = s.cap_ff;
+        n.sink = out.tree.add_sink(s.pos, s.cap_ff, s.name);
+        roots.push_back(static_cast<int>(nodes.size()));
+        nodes.push_back(n);
+    }
+
+    std::mt19937 rng(opt.rng_seed);
+    while (roots.size() > 1) {
+        std::vector<cts::LevelNode> level;
+        level.reserve(roots.size());
+        for (int r : roots)
+            level.push_back({r, nodes[r].region.center(), nodes[r].t});
+        const cts::Pairing pairing = cts::select_pairs(level, opt.topology, rng);
+
+        std::vector<int> next;
+        for (auto [ia, ib] : pairing.pairs) {
+            const DmeNode& n1 = nodes[ia];
+            const DmeNode& n2 = nodes[ib];
+            const double l = geom::Trr::distance(n1.region, n2.region);
+
+            double l1 = 0.0, l2 = 0.0;
+            if (l > 0.0) {
+                const double x = zero_skew_split(n1.t, n2.t, n1.cap, n2.cap, l, a, b);
+                if (x < 0.0) {
+                    l1 = 0.0;
+                    l2 = detour_length(n1.t - n2.t, n2.cap, a, b);
+                } else if (x > 1.0) {
+                    l2 = 0.0;
+                    l1 = detour_length(n2.t - n1.t, n1.cap, a, b);
+                } else {
+                    l1 = x * l;
+                    l2 = l - l1;
+                }
+            } else if (n1.t != n2.t) {
+                // Coincident regions with unequal delays: pure snaking.
+                if (n1.t < n2.t)
+                    l1 = detour_length(n2.t - n1.t, n1.cap, a, b);
+                else
+                    l2 = detour_length(n1.t - n2.t, n2.cap, a, b);
+            }
+
+            const auto ms = geom::merge_segment(n1.region, l1, n2.region, l2);
+            if (!ms.has_value())
+                throw std::runtime_error("dme: empty merge segment (radii inconsistent)");
+
+            DmeNode m;
+            m.region = *ms;
+            m.t = n1.t + a * l1 * (b * l1 / 2.0 + n1.cap);
+            m.cap = n1.cap + n2.cap + b * (l1 + l2);
+            m.child_a = ia;
+            m.child_b = ib;
+            m.wire_a = l1;
+            m.wire_b = l2;
+            next.push_back(static_cast<int>(nodes.size()));
+            nodes.push_back(m);
+        }
+        if (pairing.seed >= 0) next.push_back(pairing.seed);
+        roots = std::move(next);
+    }
+
+    // Top-down embedding: fix the root anywhere on its merge segment,
+    // then place every child on its own segment as close to the parent
+    // as possible; the recorded wire lengths (>= the resulting
+    // distances) preserve the zero-skew balance via snaking.
+    const int top = roots[0];
+    struct Frame {
+        int dme_node;
+        int tree_parent;
+        double wire;
+        geom::Pt parent_pos;
+    };
+    std::vector<Frame> stack;
+    const geom::Pt root_pos = nodes[top].region.center();
+    int tree_root;
+    if (nodes[top].sink >= 0) {
+        tree_root = nodes[top].sink;
+    } else {
+        tree_root = out.tree.add_merge(root_pos);
+        stack.push_back({nodes[top].child_a, tree_root, nodes[top].wire_a, root_pos});
+        stack.push_back({nodes[top].child_b, tree_root, nodes[top].wire_b, root_pos});
+    }
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const DmeNode& n = nodes[f.dme_node];
+        const geom::Pt pos = n.region.closest_point_to(f.parent_pos);
+        int id;
+        if (n.sink >= 0) {
+            id = n.sink;
+        } else {
+            id = out.tree.add_merge(pos);
+            stack.push_back({n.child_a, id, n.wire_a, pos});
+            stack.push_back({n.child_b, id, n.wire_b, pos});
+        }
+        const double dist = geom::manhattan(pos, f.parent_pos);
+        out.tree.connect(f.tree_parent, id, std::max(f.wire, dist));
+    }
+
+    out.root = tree_root;
+    out.elmore_delay_ps = nodes[top].t;
+    out.wire_length_um = out.tree.wire_length_below(tree_root);
+    out.elmore_skew_ps = 0.0;  // by construction; tests verify via moments
+    return out;
+}
+
+}  // namespace ctsim::baseline

@@ -1,0 +1,63 @@
+// Deferred-Merge Embedding baseline (Chao et al. [1], Tsay [2]).
+//
+// The classical zero-skew clock tree construction the paper builds on
+// (Sec 2.2): a bottom-up pass computes merge segments (Manhattan
+// arcs) whose split point balances Elmore delays exactly via eq. 2.5,
+//
+//   x = ((t2 - t1) + alpha*l*(C2 + beta*l/2)) /
+//       (alpha*l*(C1 + C2 + beta*l)),
+//
+// with wire snaking when x falls outside [0, 1]; a top-down pass then
+// embeds the merge segments into concrete locations.
+//
+// Two variants are provided:
+//  * unbuffered (the textbook algorithm) -- zero Elmore skew, but on
+//    the paper's 10x-RC dies its slews are hopeless (that is Fig 1.1's
+//    point and what the aggressive-insertion flow fixes);
+//  * merge-node-only buffering (in merge_buffered.h) -- the [6][8][16]
+//    policy used as comparison in Table 5.1.
+#ifndef CTSIM_BASELINE_DME_H
+#define CTSIM_BASELINE_DME_H
+
+#include <vector>
+
+#include "cts/clock_tree.h"
+#include "cts/options.h"
+#include "cts/synthesizer.h"
+#include "geom/trr.h"
+
+namespace ctsim::baseline {
+
+/// Zero-skew merge point on a segment of length `l` between subtree
+/// roots with delays t1/t2 and load caps c1/c2 (eq. 2.5). Returns the
+/// split fraction x, unclamped; callers handle detours when x is
+/// outside [0, 1].
+double zero_skew_split(double t1, double t2, double c1, double c2, double l,
+                       double alpha_res_per_um, double beta_cap_per_um);
+
+/// Wire length solving alpha*L*(beta*L/2 + c_fast) = t_slow - t_fast
+/// (the detour / snaking length when one subtree is too fast).
+double detour_length(double delay_gap_ps, double c_fast_ff, double alpha_res_per_um,
+                     double beta_cap_per_um);
+
+struct DmeOptions {
+    cts::SynthesisOptions topology{};  ///< matching/cost knobs reused
+    unsigned rng_seed{1};
+};
+
+struct DmeResult {
+    cts::ClockTree tree;
+    int root{-1};
+    double elmore_skew_ps{0.0};   ///< residual Elmore skew (should be ~0)
+    double elmore_delay_ps{0.0};  ///< root-to-sink Elmore delay
+    double wire_length_um{0.0};
+};
+
+/// Classic unbuffered DME flow: levelized greedy topology + exact
+/// zero-skew merging + top-down embedding.
+DmeResult dme_synthesize(const std::vector<cts::SinkSpec>& sinks, const tech::Technology& tech,
+                         const DmeOptions& opt = {});
+
+}  // namespace ctsim::baseline
+
+#endif  // CTSIM_BASELINE_DME_H

@@ -1,0 +1,159 @@
+#include "baseline/merge_buffered.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "cts/maze.h"
+#include "cts/topology.h"
+
+namespace ctsim::baseline {
+
+namespace {
+
+struct MbNode {
+    geom::Trr region;
+    double t{0.0};
+    double cap{0.0};
+    bool buffered{false};  ///< buffer committed at this (merge) node
+    int child_a{-1};
+    int child_b{-1};
+    double wire_a{0.0};
+    double wire_b{0.0};
+    int sink{-1};
+};
+
+}  // namespace
+
+MergeBufferedResult merge_buffered_synthesize(const std::vector<cts::SinkSpec>& sinks,
+                                              const delaylib::DelayModel& model,
+                                              const MergeBufferedOptions& opt) {
+    if (sinks.empty()) throw std::invalid_argument("merge-buffered: no sinks");
+    const tech::Technology& tech = model.technology();
+    const double a = tech.wire_res_kohm_per_um;
+    const double b = tech.wire_cap_ff_per_um;
+    const double assumed = opt.synthesis.assumed_slew();
+    const int btype = opt.buffer_type >= 0 ? opt.buffer_type : model.buffers().largest();
+
+    // Capacitance budget: what the chosen buffer can drive while its
+    // wire-end slew stays within the target (single-wire estimate).
+    const double reach_um = cts::max_feasible_run(model, btype, model.buffers().smallest(),
+                                                  assumed, opt.synthesis.slew_target_ps, 1e9);
+    const double cap_budget =
+        tech.wire_cap_ff(reach_um) + model.buffer_input_cap(model.buffers().smallest());
+
+    MergeBufferedResult out;
+    std::vector<MbNode> nodes;
+    std::vector<int> roots;
+    for (const cts::SinkSpec& s : sinks) {
+        MbNode n;
+        n.region = geom::Trr::point(s.pos);
+        n.cap = s.cap_ff;
+        n.sink = out.tree.add_sink(s.pos, s.cap_ff, s.name);
+        roots.push_back(static_cast<int>(nodes.size()));
+        nodes.push_back(n);
+    }
+
+    std::mt19937 rng(opt.rng_seed);
+    while (roots.size() > 1) {
+        std::vector<cts::LevelNode> level;
+        for (int r : roots) level.push_back({r, nodes[r].region.center(), nodes[r].t});
+        const cts::Pairing pairing = cts::select_pairs(level, opt.synthesis, rng);
+
+        std::vector<int> next;
+        for (auto [ia, ib] : pairing.pairs) {
+            const MbNode& n1 = nodes[ia];
+            const MbNode& n2 = nodes[ib];
+            const double l = geom::Trr::distance(n1.region, n2.region);
+
+            double l1 = 0.0, l2 = 0.0;
+            if (l > 0.0) {
+                const double x = zero_skew_split(n1.t, n2.t, n1.cap, n2.cap, l, a, b);
+                if (x < 0.0) {
+                    l2 = detour_length(n1.t - n2.t, n2.cap, a, b);
+                } else if (x > 1.0) {
+                    l1 = detour_length(n2.t - n1.t, n1.cap, a, b);
+                } else {
+                    l1 = x * l;
+                    l2 = l - l1;
+                }
+            } else if (n1.t != n2.t) {
+                if (n1.t < n2.t)
+                    l1 = detour_length(n2.t - n1.t, n1.cap, a, b);
+                else
+                    l2 = detour_length(n1.t - n2.t, n2.cap, a, b);
+            }
+
+            const auto ms = geom::merge_segment(n1.region, l1, n2.region, l2);
+            if (!ms.has_value())
+                throw std::runtime_error("merge-buffered: empty merge segment");
+
+            MbNode m;
+            m.region = *ms;
+            m.t = n1.t + a * l1 * (b * l1 / 2.0 + n1.cap);
+            m.cap = n1.cap + n2.cap + b * (l1 + l2);
+            m.child_a = ia;
+            m.child_b = ib;
+            m.wire_a = l1;
+            m.wire_b = l2;
+            // The policy under study: the only candidate buffer
+            // location is the merge node itself.
+            if (m.cap > cap_budget) {
+                const double load_len = std::min(reach_um, m.cap / b);
+                m.t += model.buffer_delay(btype, model.buffers().smallest(), assumed,
+                                          load_len);
+                m.cap = model.buffer_input_cap(btype);
+                m.buffered = true;
+            }
+            next.push_back(static_cast<int>(nodes.size()));
+            nodes.push_back(m);
+        }
+        if (pairing.seed >= 0) next.push_back(pairing.seed);
+        roots = std::move(next);
+    }
+
+    // Top-down embedding, inserting buffer nodes where committed.
+    const int top = roots[0];
+    struct Frame {
+        int mb_node;
+        int tree_parent;  ///< -1 for the root
+        double wire;
+        geom::Pt parent_pos;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({top, -1, 0.0, nodes[top].region.center()});
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const MbNode& n = nodes[f.mb_node];
+        const geom::Pt pos = f.tree_parent < 0 ? nodes[top].region.center()
+                                               : n.region.closest_point_to(f.parent_pos);
+        int id;
+        if (n.sink >= 0) {
+            id = n.sink;
+        } else {
+            id = out.tree.add_merge(pos);
+            stack.push_back({n.child_a, id, n.wire_a, pos});
+            stack.push_back({n.child_b, id, n.wire_b, pos});
+        }
+        int attach = id;
+        if (n.buffered) {
+            const int buf = out.tree.add_buffer(pos, btype);
+            out.tree.connect(buf, id, 0.0);
+            attach = buf;
+            out.buffer_count += 1;
+        }
+        if (f.tree_parent < 0) {
+            out.root = attach;
+        } else {
+            const double dist = geom::manhattan(pos, f.parent_pos);
+            out.tree.connect(f.tree_parent, attach, std::max(f.wire, dist));
+        }
+    }
+
+    out.model_delay_ps = nodes[top].t;
+    out.wire_length_um = out.tree.wire_length_below(out.root);
+    return out;
+}
+
+}  // namespace ctsim::baseline

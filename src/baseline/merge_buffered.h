@@ -1,0 +1,41 @@
+// Merge-node-only buffer insertion baseline (the [6][8][16] policy).
+//
+// The comparison flows in Table 5.1 integrate buffer insertion with
+// clock tree construction but restrict candidate buffer locations to
+// merge nodes (Fig 1.2(a)). This baseline reproduces that policy on
+// top of the DME machinery: whenever the accumulated downstream
+// capacitance after a merge exceeds what a buffer can drive within
+// the slew target, a buffer is committed at the merge node. On the
+// paper's 10x-RC dies the wires between merge nodes grow longer than
+// any buffer can hold, which is exactly the failure mode motivating
+// aggressive (anywhere-on-the-path) insertion.
+#ifndef CTSIM_BASELINE_MERGE_BUFFERED_H
+#define CTSIM_BASELINE_MERGE_BUFFERED_H
+
+#include "baseline/dme.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::baseline {
+
+struct MergeBufferedOptions {
+    cts::SynthesisOptions synthesis{};  ///< slew target, cost knobs
+    unsigned rng_seed{1};
+    /// Buffer type committed at merge nodes (-1 = largest).
+    int buffer_type{-1};
+};
+
+struct MergeBufferedResult {
+    cts::ClockTree tree;
+    int root{-1};
+    int buffer_count{0};
+    double wire_length_um{0.0};
+    double model_delay_ps{0.0};  ///< bottom-up balanced delay estimate
+};
+
+MergeBufferedResult merge_buffered_synthesize(const std::vector<cts::SinkSpec>& sinks,
+                                              const delaylib::DelayModel& model,
+                                              const MergeBufferedOptions& opt = {});
+
+}  // namespace ctsim::baseline
+
+#endif  // CTSIM_BASELINE_MERGE_BUFFERED_H

@@ -1,0 +1,95 @@
+#include "bench_io/parsers.h"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ctsim::bench_io {
+
+namespace {
+
+bool is_number(const std::string& tok) {
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size();
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+    throw std::runtime_error("parse error at line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is) {
+    std::vector<cts::SinkSpec> sinks;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::vector<std::string> toks;
+        for (std::string t; ls >> t;) toks.push_back(t);
+        if (toks.empty()) continue;
+        // Header lines ("NumSinks : 267" etc.) contain a ':' token or a
+        // non-numeric keyword pair; skip them.
+        bool header = false;
+        for (const std::string& t : toks)
+            if (t == ":") header = true;
+        if (header) continue;
+
+        cts::SinkSpec s;
+        if (toks.size() == 3 && is_number(toks[0])) {
+            s.pos = {std::stod(toks[0]), std::stod(toks[1])};
+            s.cap_ff = std::stod(toks[2]);
+            s.name = "s" + std::to_string(sinks.size());
+        } else if (toks.size() == 4 && is_number(toks[1]) && is_number(toks[2]) &&
+                   is_number(toks[3])) {
+            s.name = toks[0];
+            s.pos = {std::stod(toks[1]), std::stod(toks[2])};
+            s.cap_ff = std::stod(toks[3]);
+        } else {
+            fail(line_no, "expected 'x y cap' or 'name x y cap'");
+        }
+        if (s.cap_ff <= 0.0) fail(line_no, "sink capacitance must be positive");
+        sinks.push_back(std::move(s));
+    }
+    if (sinks.empty()) throw std::runtime_error("GSRC BST file contains no sinks");
+    return sinks;
+}
+
+std::vector<cts::SinkSpec> parse_ispd09(std::istream& is) {
+    std::vector<cts::SinkSpec> sinks;
+    std::string tok;
+    int expected = -1;
+    while (is >> tok) {
+        if (tok == "num") {
+            std::string kind;
+            is >> kind;
+            if (kind == "sink") {
+                is >> expected;
+                if (!is || expected <= 0)
+                    throw std::runtime_error("ispd09: bad 'num sink' count");
+                for (int i = 0; i < expected; ++i) {
+                    std::string id;
+                    double x = 0, y = 0, cap = 0;
+                    if (!(is >> id >> x >> y >> cap))
+                        throw std::runtime_error("ispd09: truncated sink section");
+                    sinks.push_back({{x, y}, cap, id});
+                }
+            } else {
+                int count = 0;
+                is >> count;  // skip other sections' counts; their lines
+                              // are consumed lazily by the token loop
+            }
+        }
+        // all other tokens are skipped
+    }
+    if (sinks.empty()) throw std::runtime_error("ispd09: no sink section found");
+    return sinks;
+}
+
+}  // namespace ctsim::bench_io

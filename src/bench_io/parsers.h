@@ -1,0 +1,33 @@
+// Benchmark file parsers.
+//
+// Two public formats are supported so users who have the original
+// files can run the real instances:
+//  * GSRC Bookshelf BST (r1-r5): whitespace-separated sink lines,
+//    tolerant of "#" comments, "NumSinks : N"-style headers, and both
+//    "name x y cap" and "x y cap" line shapes;
+//  * ISPD 2009 CNS contest (.def-like subset): a "num sink N" section
+//    followed by "id x y cap" lines; other sections are skipped.
+//
+// The repository's experiments run on the synthetic instances from
+// synthetic.h because the original files are not redistributable; the
+// parsers are part of the public API for downstream users.
+#ifndef CTSIM_BENCH_IO_PARSERS_H
+#define CTSIM_BENCH_IO_PARSERS_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "cts/synthesizer.h"
+
+namespace ctsim::bench_io {
+
+/// Parse a GSRC BST sink list. Throws std::runtime_error with a line
+/// number on malformed input.
+std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is);
+
+/// Parse the sink section of an ISPD 2009 CNS benchmark.
+std::vector<cts::SinkSpec> parse_ispd09(std::istream& is);
+
+}  // namespace ctsim::bench_io
+
+#endif  // CTSIM_BENCH_IO_PARSERS_H

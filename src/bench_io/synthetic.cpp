@@ -1,0 +1,64 @@
+#include "bench_io/synthetic.h"
+
+#include <random>
+
+namespace ctsim::bench_io {
+
+const std::vector<BenchmarkSpec>& gsrc_suite() {
+    // Sink counts from Table 5.1; paper columns = worst slew [ps],
+    // skew [ps], max latency [ns]. Die spans are calibrated (see
+    // header) so our latencies land near the paper's.
+    static const std::vector<BenchmarkSpec> suite = {
+        {"r1", 267, 35000.0, 8.0, 35.0, 101, 89.5, 69.7, 1.30},
+        {"r2", 598, 45000.0, 8.0, 35.0, 102, 89.3, 59.9, 1.69},
+        {"r3", 862, 50000.0, 8.0, 35.0, 103, 89.7, 64.2, 1.95},
+        {"r4", 1903, 65000.0, 8.0, 35.0, 104, 100.0, 107.1, 2.75},
+        {"r5", 3101, 70000.0, 8.0, 35.0, 105, 98.3, 89.4, 3.00},
+    };
+    return suite;
+}
+
+const std::vector<BenchmarkSpec>& ispd_suite() {
+    // Sink counts from Table 5.2 (ISPD 2009 contest instances).
+    static const std::vector<BenchmarkSpec> suite = {
+        {"f11", 121, 55000.0, 10.0, 50.0, 201, 99.2, 45.2, 2.26},
+        {"f12", 117, 47000.0, 10.0, 50.0, 202, 83.6, 45.8, 1.92},
+        {"f21", 117, 52000.0, 10.0, 50.0, 203, 99.2, 51.1, 2.16},
+        {"f22", 91, 40000.0, 10.0, 50.0, 204, 100.0, 42.4, 1.62},
+        {"f31", 273, 95000.0, 10.0, 50.0, 205, 98.1, 65.1, 4.22},
+        {"f32", 190, 78000.0, 10.0, 50.0, 206, 85.2, 52.3, 3.38},
+        {"fnb1", 330, 105000.0, 10.0, 50.0, 207, 80.0, 68.6, 4.67},
+    };
+    return suite;
+}
+
+std::vector<BenchmarkSpec> full_suite() {
+    std::vector<BenchmarkSpec> all = gsrc_suite();
+    const auto& ispd = ispd_suite();
+    all.insert(all.end(), ispd.begin(), ispd.end());
+    return all;
+}
+
+std::optional<BenchmarkSpec> find_benchmark(const std::string& name) {
+    for (const BenchmarkSpec& s : full_suite())
+        if (s.name == name) return s;
+    return std::nullopt;
+}
+
+std::vector<cts::SinkSpec> generate(const BenchmarkSpec& spec) {
+    std::mt19937 rng(spec.seed);
+    std::uniform_real_distribution<double> coord(0.0, spec.die_span_um);
+    std::uniform_real_distribution<double> cap(spec.cap_min_ff, spec.cap_max_ff);
+    std::vector<cts::SinkSpec> sinks;
+    sinks.reserve(spec.sink_count);
+    for (int i = 0; i < spec.sink_count; ++i) {
+        cts::SinkSpec s;
+        s.pos = {coord(rng), coord(rng)};
+        s.cap_ff = cap(rng);
+        s.name = spec.name + "_s" + std::to_string(i);
+        sinks.push_back(std::move(s));
+    }
+    return sinks;
+}
+
+}  // namespace ctsim::bench_io

@@ -1,0 +1,44 @@
+#include "circuit/rc_tree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ctsim::circuit {
+
+int RcTree::add_node(int parent, double res_kohm, double cap_ff, int tag) {
+    if (parent < 0 || parent >= size()) throw std::out_of_range("RcTree: bad parent");
+    if (res_kohm < 0.0) throw std::invalid_argument("RcTree: negative resistance");
+    RcNode n;
+    n.parent = parent;
+    // A handful of femto-ohms keeps the tree factorization regular for
+    // zero-length connector segments without affecting any delay.
+    n.res_to_parent_kohm = res_kohm > 1e-12 ? res_kohm : 1e-12;
+    n.cap_ff = cap_ff;
+    n.tag = tag;
+    nodes_.push_back(n);
+    return size() - 1;
+}
+
+double RcTree::total_cap_ff() const {
+    double c = 0.0;
+    for (const RcNode& n : nodes_) c += n.cap_ff;
+    return c;
+}
+
+int RcTree::add_wire(int from, double length_um, double res_per_um_kohm, double cap_per_um_ff,
+                     int segments) {
+    assert(segments >= 1);
+    if (length_um <= 0.0) return from;
+    const double seg_len = length_um / segments;
+    const double seg_res = res_per_um_kohm * seg_len;
+    const double seg_cap = cap_per_um_ff * seg_len;
+    int cur = from;
+    for (int i = 0; i < segments; ++i) {
+        // pi model: half the segment cap on each end.
+        nodes_[cur].cap_ff += seg_cap / 2.0;
+        cur = add_node(cur, seg_res, seg_cap / 2.0);
+    }
+    return cur;
+}
+
+}  // namespace ctsim::circuit

@@ -1,0 +1,55 @@
+// Tree-structured RC network.
+//
+// Clock-tree interconnect between buffers is always a tree of wire
+// segments with grounded capacitances; the simulator, the Elmore/
+// moment engines and the stage decomposition all work on this
+// structure. Node 0 is the driving point (root). Every other node has
+// exactly one parent and a series resistance to it, so construction
+// order guarantees parent index < child index — the property the O(n)
+// tree solver and the moment recursions rely on.
+#ifndef CTSIM_CIRCUIT_RC_TREE_H
+#define CTSIM_CIRCUIT_RC_TREE_H
+
+#include <string>
+#include <vector>
+
+namespace ctsim::circuit {
+
+struct RcNode {
+    int parent{-1};                ///< -1 for the root
+    double res_to_parent_kohm{0.0};
+    double cap_ff{0.0};            ///< grounded capacitance at this node
+    int tag{-1};                   ///< user tag (e.g. netlist node id); -1 = internal
+};
+
+class RcTree {
+  public:
+    RcTree() { nodes_.push_back(RcNode{}); }
+
+    /// Add a node under `parent` (must already exist). Returns its id.
+    int add_node(int parent, double res_kohm, double cap_ff, int tag = -1);
+
+    /// Add extra grounded capacitance to an existing node.
+    void add_cap(int node, double cap_ff) { nodes_[node].cap_ff += cap_ff; }
+    void set_tag(int node, int tag) { nodes_[node].tag = tag; }
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    const RcNode& node(int i) const { return nodes_[i]; }
+    const std::vector<RcNode>& nodes() const { return nodes_; }
+
+    /// Sum of all grounded capacitance (the load seen by an ideal driver).
+    double total_cap_ff() const;
+
+    /// Append a uniform wire of `length_um` as `segments` pi-segments
+    /// starting at node `from`; returns the far-end node id. Cap is
+    /// split half-half onto the two ends of each segment.
+    int add_wire(int from, double length_um, double res_per_um_kohm, double cap_per_um_ff,
+                 int segments);
+
+  private:
+    std::vector<RcNode> nodes_;
+};
+
+}  // namespace ctsim::circuit
+
+#endif  // CTSIM_CIRCUIT_RC_TREE_H

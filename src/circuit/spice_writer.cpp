@@ -1,0 +1,74 @@
+#include "circuit/spice_writer.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace ctsim::circuit {
+
+namespace {
+
+std::string node_name(int i) { return "n" + std::to_string(i); }
+
+}  // namespace
+
+void write_spice(std::ostream& os, const Netlist& net, const tech::Technology& tech,
+                 const tech::BufferLibrary& lib, const SpiceOptions& opt) {
+    os << "* Clock tree netlist exported by ctsim\n";
+    os << "* wires: " << net.wires().size() << "  buffers: " << net.buffers().size()
+       << "  sinks: " << net.sink_nodes().size() << "\n";
+    os << ".include '" << opt.model_include << "'\n";
+    os << ".param vdd=" << tech.vdd << "\n";
+    os << "vdd vdd 0 dc 'vdd'\n\n";
+
+    // Buffer subcircuits, one per library type.
+    for (int t = 0; t < lib.count(); ++t) {
+        const tech::BufferType& b = lib.type(t);
+        os << ".subckt " << b.name << " in out vdd gnd\n";
+        os << "mp1 mid in vdd vdd pmos w=" << b.stage1.pmos_width_um << "u l=0.045u\n";
+        os << "mn1 mid in gnd gnd nmos w=" << b.stage1.nmos_width_um << "u l=0.045u\n";
+        os << "mp2 out mid vdd vdd pmos w=" << b.stage2.pmos_width_um << "u l=0.045u\n";
+        os << "mn2 out mid gnd gnd nmos w=" << b.stage2.nmos_width_um << "u l=0.045u\n";
+        os << ".ends\n\n";
+    }
+
+    // Source: ideal ramp into the tree root.
+    os << "vsrc " << node_name(net.source()) << " 0 pwl(0 0 " << opt.input_slew_ps * 1e-12
+       << ' ' << tech.vdd << ")\n\n";
+
+    // Wires as 3-segment pi ladders (SPICE handles accuracy itself; 3
+    // keeps the deck small while modelling shielding).
+    int ridx = 0;
+    for (const WireSeg& w : net.wires()) {
+        const double res_ohm = tech.wire_res_kohm(w.length_um) * 1e3;
+        const double cap_f = tech.wire_cap_ff(w.length_um) * 1e-15;
+        const int segs = 3;
+        std::string prev = node_name(w.a);
+        for (int s = 0; s < segs; ++s) {
+            const std::string next =
+                s + 1 == segs ? node_name(w.b)
+                              : "w" + std::to_string(ridx) + "_" + std::to_string(s);
+            os << "r" << ridx << "_" << s << ' ' << prev << ' ' << next << ' '
+               << res_ohm / segs << "\n";
+            os << "c" << ridx << "_" << s << "a " << prev << " 0 " << cap_f / segs / 2 << "\n";
+            os << "c" << ridx << "_" << s << "b " << next << " 0 " << cap_f / segs / 2 << "\n";
+            prev = next;
+        }
+        ++ridx;
+    }
+    os << "\n";
+
+    int bidx = 0;
+    for (const BufferInst& b : net.buffers()) {
+        os << "xb" << bidx++ << ' ' << node_name(b.in_node) << ' ' << node_name(b.out_node)
+           << " vdd 0 " << lib.type(b.type).name << "\n";
+    }
+    os << "\n";
+
+    for (int s : net.sink_nodes())
+        os << "csink" << s << ' ' << node_name(s) << " 0 " << net.node(s).sink_cap_ff * 1e-15
+           << "\n";
+
+    os << "\n.tran " << 1e-12 << ' ' << opt.sim_window_ps * 1e-12 << "\n.end\n";
+}
+
+}  // namespace ctsim::circuit

@@ -1,0 +1,29 @@
+// SPICE deck export.
+//
+// Writes a synthesized clock tree as a SPICE netlist (wires as RC
+// pi-ladders, buffers as two-inverter subcircuit instances) so users
+// with real 45 nm PTM model cards and HSPICE/ngspice can re-verify our
+// results outside this repository. The in-repo verification path is
+// src/sim; this writer exists for external reproducibility.
+#ifndef CTSIM_CIRCUIT_SPICE_WRITER_H
+#define CTSIM_CIRCUIT_SPICE_WRITER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace ctsim::circuit {
+
+struct SpiceOptions {
+    double input_slew_ps{50.0};   ///< ramp rise time at the source
+    double sim_window_ps{6000.0};
+    std::string model_include{"ptm45nm.l"};  ///< model card the user supplies
+};
+
+void write_spice(std::ostream& os, const Netlist& net, const tech::Technology& tech,
+                 const tech::BufferLibrary& lib, const SpiceOptions& opt = {});
+
+}  // namespace ctsim::circuit
+
+#endif  // CTSIM_CIRCUIT_SPICE_WRITER_H

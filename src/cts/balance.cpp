@@ -1,0 +1,112 @@
+#include "cts/balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cts/maze.h"
+
+namespace ctsim::cts {
+
+double estimate_path_delay(const delaylib::DelayModel& model, double dist_um,
+                           const SynthesisOptions& opt) {
+    if (dist_um <= 0.0) return 0.0;
+    const int tmax = model.buffers().largest();
+    const double assumed = opt.assumed_slew();
+    const double run = std::max(
+        100.0, max_feasible_run(model, tmax, tmax, assumed, opt.slew_target_ps, 1e9));
+    double delay = 0.0;
+    double remaining = dist_um;
+    while (remaining > run) {
+        delay += model.stage(tmax, tmax, assumed, run).delay_ps;
+        remaining -= run;
+    }
+    delay += model.wire_delay(tmax, tmax, assumed, remaining);
+    return delay;
+}
+
+SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
+                        const delaylib::DelayModel& model, const SynthesisOptions& opt) {
+    SnakeResult res;
+    res.new_root = root;
+    const double assumed = opt.assumed_slew();
+    const geom::Pt pos = tree.node(root).pos;
+
+    while (res.added_delay_ps < burn_ps) {
+        const int cur = res.new_root;
+        const double load_cap =
+            tree.root_input_cap_ff(cur, model.technology(), model.buffers());
+        const int ltype = model.load_type_for_cap(load_cap);
+        const double remaining = burn_ps - res.added_delay_ps;
+
+        // Pick the (type, length) stage. Full stages use the type that
+        // adds the most delay at its slew-feasible maximum; the last
+        // stage prefers a type whose [min, max] stage-delay range
+        // brackets the remaining target so a wire-length bisection can
+        // land on it exactly (overshoot only when the target is below
+        // every type's zero-wire delay).
+        int best_t = model.buffers().smallest();
+        double best_len = 0.0;
+        double best_delay = -1.0;
+        for (int t = 0; t < model.buffers().count(); ++t) {
+            const double len =
+                max_feasible_run(model, t, ltype, assumed, opt.slew_target_ps, 1e9);
+            const double d = model.stage(t, ltype, assumed, len).delay_ps;
+            if (d > best_delay) {
+                best_delay = d;
+                best_t = t;
+                best_len = len;
+            }
+        }
+        if (best_delay > remaining) {
+            // Final stage: choose the type with the smallest zero-wire
+            // delay among those whose range covers the target (or the
+            // overall smallest zero-wire delay if none covers it).
+            int trim_t = -1;
+            double trim_min = 0.0;
+            double fallback_min = std::numeric_limits<double>::max();
+            int fallback_t = best_t;
+            for (int t = 0; t < model.buffers().count(); ++t) {
+                const double len =
+                    max_feasible_run(model, t, ltype, assumed, opt.slew_target_ps, 1e9);
+                const double dmin = model.stage(t, ltype, assumed, 0.0).delay_ps;
+                const double dmax = model.stage(t, ltype, assumed, len).delay_ps;
+                if (dmin < fallback_min) {
+                    fallback_min = dmin;
+                    fallback_t = t;
+                }
+                if (dmin <= remaining && remaining <= dmax &&
+                    (trim_t < 0 || dmin < trim_min)) {
+                    trim_t = t;
+                    trim_min = dmin;
+                }
+            }
+            best_t = trim_t >= 0 ? trim_t : fallback_t;
+            double lo = 0.0;
+            double hi = max_feasible_run(model, best_t, ltype, assumed, opt.slew_target_ps, 1e9);
+            for (int it = 0; it < 30; ++it) {
+                const double mid = 0.5 * (lo + hi);
+                if (model.stage(best_t, ltype, assumed, mid).delay_ps <= remaining)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            best_len = model.stage(best_t, ltype, assumed, lo).delay_ps <= remaining ? lo : 0.0;
+            best_delay = model.stage(best_t, ltype, assumed, best_len).delay_ps;
+        }
+
+        // Snaked wire: electrically best_len, geometrically in place.
+        const int buf = tree.add_buffer(pos, best_t);
+        tree.connect(buf, cur, best_len);
+        res.new_root = buf;
+        res.added_delay_ps += best_delay;
+        res.stages += 1;
+
+        // A zero-length trimmed stage still adds the buffer delay, so
+        // progress is guaranteed; bail out defensively regardless.
+        if (res.stages > 200) break;
+    }
+    return res;
+}
+
+}  // namespace ctsim::cts

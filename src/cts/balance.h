@@ -1,0 +1,40 @@
+// Balance stage: progressive wire snaking (Sec 4.2.1).
+//
+// Merge-routing can only balance a limited delay difference without
+// detours: roughly the delay of routing the whole root-to-root
+// distance on one side. When the two subtrees differ by more than
+// that, wire-snaking stages (a driving buffer plus a wire grown up to
+// the slew target) are inserted above the faster subtree's root until
+// the residual difference is within in-route reach. "The new starting
+// buffer acts as the new root of the sub-tree."
+#ifndef CTSIM_CTS_BALANCE_H
+#define CTSIM_CTS_BALANCE_H
+
+#include "cts/clock_tree.h"
+#include "cts/options.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::cts {
+
+/// Delay a routed path of length `dist_um` can contribute to one side
+/// (buffers at slew-limited intervals, pessimistic slew assumption).
+/// This is the in-route balancing reach estimate.
+double estimate_path_delay(const delaylib::DelayModel& model, double dist_um,
+                           const SynthesisOptions& opt);
+
+struct SnakeResult {
+    int new_root{-1};
+    double added_delay_ps{0.0};
+    int stages{0};
+};
+
+/// Insert full snaking stages above `root` until at least `burn_ps` of
+/// delay has been added (the last stage is trimmed by wire-length
+/// bisection to land close to the target). Stages honor the slew
+/// target. Returns the new (buffer) root.
+SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
+                        const delaylib::DelayModel& model, const SynthesisOptions& opt);
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_BALANCE_H

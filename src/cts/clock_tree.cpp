@@ -1,0 +1,187 @@
+#include "cts/clock_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ctsim::cts {
+
+int ClockTree::add_node(NodeKind kind, geom::Pt pos) {
+    TreeNode n;
+    n.kind = kind;
+    n.pos = pos;
+    nodes_.push_back(std::move(n));
+    return size() - 1;
+}
+
+int ClockTree::add_sink(geom::Pt pos, double cap_ff, std::string name) {
+    if (cap_ff <= 0.0) throw std::invalid_argument("clock tree: sink needs positive cap");
+    const int id = add_node(NodeKind::sink, pos);
+    nodes_[id].sink_cap_ff = cap_ff;
+    nodes_[id].name = std::move(name);
+    return id;
+}
+
+int ClockTree::add_merge(geom::Pt pos) { return add_node(NodeKind::merge, pos); }
+int ClockTree::add_steiner(geom::Pt pos) { return add_node(NodeKind::steiner, pos); }
+
+int ClockTree::add_buffer(geom::Pt pos, int buffer_type) {
+    if (buffer_type < 0) throw std::invalid_argument("clock tree: invalid buffer type");
+    const int id = add_node(NodeKind::buffer, pos);
+    nodes_[id].buffer_type = buffer_type;
+    return id;
+}
+
+void ClockTree::connect(int parent, int child, double wire_um) {
+    if (parent < 0 || parent >= size() || child < 0 || child >= size())
+        throw std::out_of_range("clock tree: connect out of range");
+    if (nodes_[child].parent != -1)
+        throw std::runtime_error("clock tree: node already has a parent");
+    if (wire_um < 0.0) throw std::invalid_argument("clock tree: negative wire length");
+    nodes_[child].parent = parent;
+    nodes_[child].parent_wire_um = wire_um;
+    nodes_[parent].children.push_back(child);
+}
+
+void ClockTree::disconnect(int child) {
+    const int p = nodes_.at(child).parent;
+    if (p < 0) return;
+    auto& ch = nodes_[p].children;
+    ch.erase(std::remove(ch.begin(), ch.end(), child), ch.end());
+    nodes_[child].parent = -1;
+    nodes_[child].parent_wire_um = 0.0;
+}
+
+std::vector<int> ClockTree::sinks() const {
+    std::vector<int> out;
+    for (int i = 0; i < size(); ++i)
+        if (nodes_[i].kind == NodeKind::sink) out.push_back(i);
+    return out;
+}
+
+std::vector<int> ClockTree::subtree(int root) const {
+    std::vector<int> order;
+    order.push_back(root);
+    for (std::size_t k = 0; k < order.size(); ++k)
+        for (int c : nodes_[order[k]].children) order.push_back(c);
+    return order;
+}
+
+std::vector<int> ClockTree::sinks_below(int root) const {
+    std::vector<int> out;
+    for (int i : subtree(root))
+        if (nodes_[i].kind == NodeKind::sink) out.push_back(i);
+    return out;
+}
+
+double ClockTree::wire_length_below(int root) const {
+    double sum = 0.0;
+    for (int i : subtree(root))
+        if (i != root) sum += nodes_[i].parent_wire_um;
+    return sum;
+}
+
+int ClockTree::buffer_count_below(int root) const {
+    int count = 0;
+    for (int i : subtree(root))
+        if (nodes_[i].kind == NodeKind::buffer) ++count;
+    return count;
+}
+
+double ClockTree::root_input_cap_ff(int root, const tech::Technology& tech,
+                                    const tech::BufferLibrary& lib) const {
+    const TreeNode& r = nodes_.at(root);
+    if (r.kind == NodeKind::buffer) return lib.type(r.buffer_type).input_cap_ff(tech);
+    if (r.kind == NodeKind::sink) return r.sink_cap_ff;
+    // Unbuffered interior root: accumulate wire and load caps down to
+    // the first buffers.
+    double cap = 0.0;
+    std::vector<int> stack{root};
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        const TreeNode& n = nodes_[u];
+        if (u != root) {
+            cap += tech.wire_cap_ff(n.parent_wire_um);
+            if (n.kind == NodeKind::buffer) {
+                cap += lib.type(n.buffer_type).input_cap_ff(tech);
+                continue;  // cut at buffer
+            }
+            if (n.kind == NodeKind::sink) {
+                cap += n.sink_cap_ff;
+                continue;
+            }
+        }
+        for (int c : n.children) stack.push_back(c);
+    }
+    return cap;
+}
+
+void ClockTree::validate_subtree(int root) const {
+    for (int i : subtree(root)) {
+        const TreeNode& n = nodes_[i];
+        for (int c : n.children) {
+            if (nodes_[c].parent != i)
+                throw std::runtime_error("clock tree: child/parent mismatch at node " +
+                                         std::to_string(c));
+            const double d = geom::manhattan(nodes_[c].pos, n.pos);
+            if (nodes_[c].parent_wire_um + 1e-6 < d)
+                throw std::runtime_error("clock tree: wire shorter than Manhattan distance at " +
+                                         std::to_string(c));
+            if (!std::isfinite(nodes_[c].parent_wire_um))
+                throw std::runtime_error("clock tree: non-finite wire length at " +
+                                         std::to_string(c));
+        }
+        if (n.kind == NodeKind::buffer && n.children.size() != 1)
+            throw std::runtime_error("clock tree: buffer must drive exactly one child, node " +
+                                     std::to_string(i));
+        if (n.kind == NodeKind::sink && !n.children.empty())
+            throw std::runtime_error("clock tree: sink is not a leaf, node " +
+                                     std::to_string(i));
+        if (n.children.size() > 2)
+            throw std::runtime_error("clock tree: node with more than two children, node " +
+                                     std::to_string(i));
+    }
+}
+
+circuit::Netlist ClockTree::to_netlist(int root, const tech::Technology& tech,
+                                       const tech::BufferLibrary& lib,
+                                       int source_buffer) const {
+    // Electrical values are resolved later by stage decomposition; the
+    // technology/library parameters stay in the signature so callers
+    // bind the netlist to the models it will be evaluated with.
+    (void)tech;
+    (void)lib;
+    circuit::Netlist net;
+    std::vector<int> in_node(nodes_.size(), -1);   // net node at tree node input
+    std::vector<int> out_node(nodes_.size(), -1);  // = in_node except for buffers
+
+    for (int i : subtree(root)) {
+        const TreeNode& n = nodes_[i];
+        if (n.kind == NodeKind::buffer) {
+            in_node[i] = net.add_node(n.pos);
+            out_node[i] = net.add_node(n.pos);
+            net.add_buffer(in_node[i], out_node[i], n.buffer_type);
+        } else if (n.kind == NodeKind::sink) {
+            in_node[i] = out_node[i] = net.add_node(n.pos, n.sink_cap_ff, n.name);
+        } else {
+            in_node[i] = out_node[i] = net.add_node(n.pos);
+        }
+        if (i != root) net.add_wire(out_node[nodes_[i].parent], in_node[i], n.parent_wire_um);
+    }
+
+    if (source_buffer >= 0) {
+        // The ideal ramp drives a source buffer whose output feeds the
+        // tree root directly (zero-length wire).
+        const int src = net.add_node(nodes_[root].pos);
+        const int out = net.add_node(nodes_[root].pos);
+        net.add_buffer(src, out, source_buffer);
+        net.add_wire(out, in_node[root], 0.0);
+        net.set_source(src);
+    } else {
+        net.set_source(in_node[root]);
+    }
+    return net;
+}
+
+}  // namespace ctsim::cts

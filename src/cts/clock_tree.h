@@ -1,0 +1,89 @@
+// Clock tree data structure.
+//
+// A single node arena holds sinks, merge nodes, routing (steiner)
+// nodes and buffers. During bottom-up synthesis nodes are added with
+// parent = -1 and linked as merges happen; the final tree is rooted at
+// the last merge node. Wire lengths are stored per edge and may exceed
+// the Manhattan distance of the endpoints (wire snaking from the
+// balance stage is legitimate and required for delay balancing).
+#ifndef CTSIM_CTS_CLOCK_TREE_H
+#define CTSIM_CTS_CLOCK_TREE_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "geom/point.h"
+#include "tech/buffer_lib.h"
+
+namespace ctsim::cts {
+
+enum class NodeKind { sink, merge, steiner, buffer };
+
+struct TreeNode {
+    NodeKind kind{NodeKind::steiner};
+    geom::Pt pos{};
+    int parent{-1};
+    std::vector<int> children;
+    /// Electrical length of the wire from this node up to its parent
+    /// [um]; >= manhattan(pos, parent.pos) when snaked.
+    double parent_wire_um{0.0};
+    int buffer_type{-1};     ///< for NodeKind::buffer
+    double sink_cap_ff{0.0}; ///< for NodeKind::sink
+    std::string name;
+};
+
+class ClockTree {
+  public:
+    int add_sink(geom::Pt pos, double cap_ff, std::string name = {});
+    int add_merge(geom::Pt pos);
+    int add_steiner(geom::Pt pos);
+    int add_buffer(geom::Pt pos, int buffer_type);
+
+    /// Attach `child` under `parent` with a wire of `wire_um`.
+    void connect(int parent, int child, double wire_um);
+    /// Detach `child` from its current parent (for H-structure undo).
+    void disconnect(int child);
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    const TreeNode& node(int i) const { return nodes_.at(i); }
+    TreeNode& node(int i) { return nodes_.at(i); }
+
+    std::vector<int> sinks() const;
+    /// All sink ids in the subtree rooted at `root`.
+    std::vector<int> sinks_below(int root) const;
+    /// Preorder list of the subtree rooted at `root`.
+    std::vector<int> subtree(int root) const;
+
+    /// Total wire length of the subtree rooted at `root` (whole tree
+    /// when root's parent is -1 and all nodes hang below it).
+    double wire_length_below(int root) const;
+    int buffer_count_below(int root) const;
+
+    /// Capacitance seen looking into `root` before the first buffers:
+    /// wires + sink caps + buffer input caps (used for load-type
+    /// selection when a routing path attaches to this subtree).
+    double root_input_cap_ff(int root, const tech::Technology& tech,
+                             const tech::BufferLibrary& lib) const;
+
+    /// Structural checks for the subtree under `root`: child/parent
+    /// consistency, buffers have exactly one child, sinks are leaves,
+    /// wire lengths are >= the Manhattan distance (within eps) and
+    /// finite. Throws std::runtime_error on the first violation.
+    void validate_subtree(int root) const;
+
+    /// Convert the subtree rooted at `root` into a flat electrical
+    /// netlist, optionally inserting a source buffer of `source_buffer`
+    /// type at the root (-1 = none; the ideal ramp drives the root
+    /// directly).
+    circuit::Netlist to_netlist(int root, const tech::Technology& tech,
+                                const tech::BufferLibrary& lib, int source_buffer = -1) const;
+
+  private:
+    int add_node(NodeKind kind, geom::Pt pos);
+    std::vector<TreeNode> nodes_;
+};
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_CLOCK_TREE_H

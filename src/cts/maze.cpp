@@ -1,0 +1,289 @@
+#include "cts/maze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ctsim::cts {
+
+namespace {
+
+struct Label {
+    bool valid{false};
+    double delay_complete_max{0.0};
+    double delay_complete_min{0.0};
+    double run_len{0.0};
+    int run_load{0};
+    int nbuf{0};
+    int prev{-1};              ///< predecessor cell index
+    bool placed{false};        ///< buffer committed on the step into this cell
+    int placed_type{-1};
+    double placed_run_below{0.0};
+    /// Comparison key: pessimistic delay including the partial run.
+    double est_ps{0.0};
+};
+
+/// One side's monotone label grid.
+class SideDp {
+  public:
+    SideDp(const geom::RoutingGrid& grid, const RouteEndpoint& ep,
+           const delaylib::DelayModel& model, const SynthesisOptions& opt)
+        : grid_(grid), model_(model), opt_(opt), labels_(grid.cell_count()) {
+        tmax_ = model.buffers().largest();
+        assumed_ = opt.assumed_slew();
+        source_cell_ = grid.cell_of(ep.pos);
+        source_pos_ = ep.pos;
+        // Feasible-run limit per load type, for the largest driver:
+        // this is the hot query of the whole router, so precompute it.
+        // Runs are deliberately capped below the slew-limited maximum
+        // (60%) so that downstream stages retain wire-trim headroom for
+        // the merge-time delay balancing; the remainder is also a
+        // guard band for branch loading at merge points.
+        run_limit_.resize(model.buffers().count());
+        for (int lt = 0; lt < model.buffers().count(); ++lt)
+            run_limit_[lt] = 0.60 * max_feasible_run(model_, tmax_, lt, assumed_,
+                                                     opt.slew_target_ps, 1e9);
+
+        Label seed;
+        seed.valid = true;
+        seed.delay_complete_max = ep.delay_max_ps;
+        seed.delay_complete_min = ep.delay_min_ps;
+        seed.run_len = 0.0;
+        seed.run_load = ep.load_type;
+        if (ep.force_root_buffer) {
+            // Commit a buffer right at the subtree root (smallest type:
+            // it sees no wire below, so any type holds the slew).
+            const int t = model.buffers().smallest();
+            const double stage_delay =
+                model.buffer_delay(t, ep.load_type, assumed_, 0.0) +
+                model.wire_delay(t, ep.load_type, assumed_, 0.0);
+            seed.delay_complete_max += stage_delay;
+            seed.delay_complete_min += stage_delay;
+            seed.run_load = t;
+            seed.nbuf = 1;
+            seed.placed = true;
+            seed.placed_type = t;
+            seed.placed_run_below = 0.0;
+        }
+        seed.est_ps = estimate(seed);
+        labels_[grid.index(source_cell_)] = seed;
+        relax_all();
+    }
+
+    const Label& at(geom::Cell c) const { return labels_[grid_.index(c)]; }
+    geom::Cell source_cell() const { return source_cell_; }
+
+    /// Pessimistic delay from a would-be merge at `c` down to the
+    /// slowest sink of this side.
+    double delay_at(geom::Cell c) const { return labels_[grid_.index(c)].est_ps; }
+
+    /// Reconstruct the routed path from the source cell to `meet`.
+    RoutedPath reconstruct(geom::Cell meet) const {
+        RoutedPath path;
+        const Label* lab = &labels_[grid_.index(meet)];
+        // Walk back collecting cells and buffer placements.
+        std::vector<geom::Cell> cells;
+        std::vector<const Label*> labs;
+        int idx = grid_.index(meet);
+        while (idx >= 0) {
+            cells.push_back(grid_.cell_at_index(idx));
+            labs.push_back(&labels_[idx]);
+            idx = labels_[idx].prev;
+        }
+        std::reverse(cells.begin(), cells.end());
+        std::reverse(labs.begin(), labs.end());
+
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+            const geom::Pt p = k == 0 ? source_pos_ : grid_.center(cells[k]);
+            path.trace.push_back(p);
+            if (labs[k]->placed) {
+                // The buffer sits at the cell where the run below it
+                // ended: for the seed (k == 0) that is the root itself;
+                // otherwise the predecessor cell.
+                const int bidx = k == 0 ? 0 : static_cast<int>(k) - 1;
+                path.buffers.push_back({path.trace[bidx], labs[k]->placed_type, bidx,
+                                        labs[k]->placed_run_below});
+            }
+        }
+        lab = labs.back();
+        path.tail_um = lab->run_len;
+        path.tail_load_type = lab->run_load;
+        path.delay_complete_max_ps = lab->delay_complete_max;
+        path.delay_complete_min_ps = lab->delay_complete_min;
+        return path;
+    }
+
+  private:
+    double estimate(const Label& l) const {
+        return l.delay_complete_max +
+               model_.wire_delay(tmax_, l.run_load, assumed_, l.run_len);
+    }
+
+    /// Try to improve cell `to` from label at `from_idx` over a step of
+    /// `step_um`.
+    void relax(int from_idx, int to_idx, double step_um) {
+        const Label& src = labels_[from_idx];
+        if (!src.valid) return;
+
+        Label cand = src;
+        cand.prev = from_idx;
+        cand.placed = false;
+        cand.placed_type = -1;
+        cand.placed_run_below = 0.0;
+
+        const double new_run = src.run_len + step_um;
+        const double limit = run_limit_[src.run_load];
+        if (new_run <= limit) {
+            cand.run_len = new_run;
+        } else {
+            // Commit a buffer at the predecessor cell: intelligent
+            // sizing over the run accumulated so far.
+            const auto t = choose_buffer(model_, src.run_load, src.run_len, assumed_,
+                                         opt_.slew_target_ps, opt_.intelligent_sizing);
+            if (!t.has_value()) return;  // cannot hold slew; label dies
+            const double stage = model_.buffer_delay(*t, src.run_load, assumed_, src.run_len) +
+                                 model_.wire_delay(*t, src.run_load, assumed_, src.run_len);
+            cand.delay_complete_max += stage;
+            cand.delay_complete_min += stage;
+            cand.run_load = *t;
+            cand.run_len = step_um;
+            cand.nbuf += 1;
+            cand.placed = true;
+            cand.placed_type = *t;
+            cand.placed_run_below = src.run_len;
+        }
+        cand.est_ps = estimate(cand);
+
+        Label& dst = labels_[to_idx];
+        if (!dst.valid || cand.est_ps < dst.est_ps ||
+            (cand.est_ps == dst.est_ps && cand.nbuf < dst.nbuf)) {
+            dst = cand;
+        }
+    }
+
+    /// Monotone wavefront: process cells in increasing L1 cell-distance
+    /// from the source cell; each cell is relaxed from its up-to-two
+    /// predecessors (one step closer in x or in y).
+    void relax_all() {
+        const int nx = grid_.nx(), ny = grid_.ny();
+        const int sx = source_cell_.ix, sy = source_cell_.iy;
+        const int max_ring = (std::max(sx, nx - 1 - sx)) + (std::max(sy, ny - 1 - sy));
+        for (int ring = 1; ring <= max_ring; ++ring) {
+            for (int dx = -std::min(ring, sx); dx <= std::min(ring, nx - 1 - sx); ++dx) {
+                const int rem = ring - std::abs(dx);
+                for (int dy : {-rem, rem}) {
+                    const int x = sx + dx, y = sy + dy;
+                    if (y < 0 || y >= ny) continue;
+                    const int to = grid_.index({x, y});
+                    // Predecessor one step toward the source in x.
+                    if (dx != 0) {
+                        const int px = x + (dx > 0 ? -1 : 1);
+                        relax(grid_.index({px, y}), to, grid_.pitch_x());
+                    }
+                    if (dy != 0) {
+                        const int py = y + (dy > 0 ? -1 : 1);
+                        relax(grid_.index({x, py}), to, grid_.pitch_y());
+                    }
+                    if (dy == 0) break;  // avoid processing {x, sy} twice
+                }
+            }
+        }
+    }
+
+    const geom::RoutingGrid& grid_;
+    const delaylib::DelayModel& model_;
+    const SynthesisOptions& opt_;
+    std::vector<Label> labels_;
+    std::vector<double> run_limit_;
+    geom::Cell source_cell_{};
+    geom::Pt source_pos_{};
+    int tmax_{0};
+    double assumed_{80.0};
+};
+
+}  // namespace
+
+double max_feasible_run(const delaylib::DelayModel& model, int dtype, int ltype,
+                        double assumed_slew, double target_slew, double upper_um) {
+    // The end slew is monotone in length; bisect. Upper bound from the
+    // fitted domain keeps queries inside the characterized region.
+    double lo = 0.0;
+    double hi = std::min(upper_um, 4500.0);
+    if (model.wire_slew(dtype, ltype, assumed_slew, hi) <= target_slew) return hi;
+    for (int it = 0; it < 40; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (model.wire_slew(dtype, ltype, assumed_slew, mid) <= target_slew)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::optional<int> choose_buffer(const delaylib::DelayModel& model, int ltype, double run_um,
+                                 double assumed_slew, double target_slew,
+                                 bool intelligent_sizing) {
+    std::optional<int> best;
+    double best_gap = std::numeric_limits<double>::max();
+    for (int t = 0; t < model.buffers().count(); ++t) {
+        const double slew = model.wire_slew(t, ltype, assumed_slew, run_um);
+        if (slew > target_slew) continue;
+        if (!intelligent_sizing) return t;  // smallest feasible wins
+        const double gap = target_slew - slew;
+        if (gap < best_gap) {
+            best_gap = gap;
+            best = t;
+        }
+    }
+    return best;
+}
+
+MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
+                      const delaylib::DelayModel& model, const SynthesisOptions& opt) {
+    const geom::RoutingGrid grid = geom::RoutingGrid::for_net(
+        a.pos, b.pos, opt.grid_cells_per_dim, opt.grid_margin_um, opt.grid_max_pitch_um);
+
+    SideDp dp1(grid, a, model, opt);
+    SideDp dp2(grid, b, model, opt);
+
+    // Pick the meet cell minimizing |d1 - d2|, tie-broken by total.
+    double best_diff = std::numeric_limits<double>::max();
+    double best_total = std::numeric_limits<double>::max();
+    int best_idx = -1;
+    for (int idx = 0; idx < grid.cell_count(); ++idx) {
+        const geom::Cell c = grid.cell_at_index(idx);
+        const Label& l1 = dp1.at(c);
+        const Label& l2 = dp2.at(c);
+        if (!l1.valid || !l2.valid) continue;
+        const double diff = std::abs(l1.est_ps - l2.est_ps);
+        const double total = l1.est_ps + l2.est_ps;
+        if (diff < best_diff - 1e-12 ||
+            (std::abs(diff - best_diff) <= 1e-12 && total < best_total)) {
+            best_diff = diff;
+            best_total = total;
+            best_idx = idx;
+        }
+    }
+    if (best_idx < 0) throw std::runtime_error("maze: no feasible meet cell");
+
+    const geom::Cell meet = grid.cell_at_index(best_idx);
+    MazeResult r;
+    r.side1 = dp1.reconstruct(meet);
+    r.side2 = dp2.reconstruct(meet);
+    r.meet = grid.center(meet);
+    // Both sides' traces must end exactly at the meet point. A trace of
+    // size one means the endpoint itself sits in the meet cell: extend
+    // it rather than overwrite the exact endpoint position.
+    for (RoutedPath* p : {&r.side1, &r.side2}) {
+        if (p->trace.size() <= 1)
+            p->trace.push_back(r.meet);
+        else
+            p->trace.back() = r.meet;
+    }
+    r.d1_ps = dp1.delay_at(meet);
+    r.d2_ps = dp2.delay_at(meet);
+    return r;
+}
+
+}  // namespace ctsim::cts

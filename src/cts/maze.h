@@ -1,0 +1,100 @@
+// Bi-directional slew-aware maze routing (Sec 4.2.2, Figs 4.3/4.4).
+//
+// Routing starts from both subtree roots simultaneously over a
+// dynamically sized grid. Each side propagates labels over monotone
+// (staircase) paths -- clock tree routing has no congestion to dodge,
+// so detours are never needed inside the routing stage (imbalances
+// beyond in-route reach are handled by the balance stage's wire
+// snaking beforehand). A label tracks the delay of all completed
+// buffer stages below plus the growing unbuffered run; when the run
+// can no longer hold the slew target even with the largest buffer,
+// a buffer is committed with intelligent sizing: every library type
+// is evaluated and the one whose end slew lands closest under the
+// target wins (Fig 4.4).
+//
+// The merge cell is the one minimizing the delay difference of the
+// two sides ("the grid with minimum delay difference (minimum skew)
+// can be picked as a tentative merger location").
+#ifndef CTSIM_CTS_MAZE_H
+#define CTSIM_CTS_MAZE_H
+
+#include <optional>
+#include <vector>
+
+#include "cts/options.h"
+#include "delaylib/delay_model.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+
+namespace ctsim::cts {
+
+/// A committed buffer along one routed path.
+struct PathBuffer {
+    geom::Pt pos{};
+    int type{0};
+    /// Index into RoutedPath::trace where this buffer sits.
+    int trace_index{0};
+    /// Wire length from this buffer down to the previous path element
+    /// (buffer or subtree root), as tracked by the router labels.
+    double run_below_um{0.0};
+};
+
+/// One side of the routed merge.
+struct RoutedPath {
+    std::vector<PathBuffer> buffers;  ///< bottom-up order (root side first)
+    /// Unbuffered wire between the last buffer (or the subtree root if
+    /// none) and the merge point.
+    double tail_um{0.0};
+    /// Load type at the bottom of the tail run (last buffer's type, or
+    /// the subtree root's equivalent load type).
+    int tail_load_type{0};
+    /// Delay from the merge-side end of the last committed stage down
+    /// to the subtree's slowest sink (completed stages + subtree max).
+    double delay_complete_max_ps{0.0};
+    double delay_complete_min_ps{0.0};
+    /// Cell positions from the root cell to the meet cell (inclusive),
+    /// for geometric reconstruction of the staircase.
+    std::vector<geom::Pt> trace;
+};
+
+/// Endpoint description handed to the router.
+struct RouteEndpoint {
+    geom::Pt pos{};
+    int load_type{0};          ///< equivalent load type looking into the subtree
+    double delay_max_ps{0.0};  ///< cached subtree delays (pessimistic)
+    double delay_min_ps{0.0};
+    /// Force a buffer at the very first step (used to keep components
+    /// two-branch shaped above unbuffered merge roots).
+    bool force_root_buffer{false};
+};
+
+struct MazeResult {
+    RoutedPath side1;
+    RoutedPath side2;
+    geom::Pt meet{};
+    /// Pessimistic delays from the meet down each side, including the
+    /// tail runs (virtual largest-type driver at the meet).
+    double d1_ps{0.0};
+    double d2_ps{0.0};
+};
+
+/// Route two endpoints toward a minimum-|delay difference| meet cell.
+MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
+                      const delaylib::DelayModel& model, const SynthesisOptions& opt);
+
+/// Largest wire run that keeps the end slew at or under `target` when
+/// driven by `dtype` (input slew `assumed`) into `ltype`; used by the
+/// router, the balance stage, and the balance-reach estimate.
+double max_feasible_run(const delaylib::DelayModel& model, int dtype, int ltype,
+                        double assumed_slew, double target_slew, double upper_um);
+
+/// Intelligent sizing (Fig 4.4): the buffer type whose end slew over a
+/// run of `run_um` into `ltype` is closest to but not above `target`;
+/// nullopt when no type can hold the target.
+std::optional<int> choose_buffer(const delaylib::DelayModel& model, int ltype, double run_um,
+                                 double assumed_slew, double target_slew,
+                                 bool intelligent_sizing);
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_MAZE_H

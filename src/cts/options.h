@@ -1,0 +1,78 @@
+// Synthesis options for the buffered CTS flow.
+#ifndef CTSIM_CTS_OPTIONS_H
+#define CTSIM_CTS_OPTIONS_H
+
+namespace ctsim::cts {
+
+enum class HStructureMode {
+    off,          ///< the original flow
+    reestimate,   ///< Method 1: re-pair by edge-cost estimation
+    correct,      ///< Method 2: route all pairings, keep the best
+};
+
+enum class SeedPolicy {
+    max_latency,  ///< the paper's choice: the highest-latency node skips the level
+    random,       ///< ablation: an arbitrary node skips
+};
+
+enum class MatchingPolicy {
+    greedy_centroid,  ///< the paper: farthest-from-centroid first, nearest neighbor
+    path_growing,     ///< Drake-Hougardy [22], for the comparison claim
+};
+
+struct SynthesisOptions {
+    /// Hard slew limit [ps]; Table 5.1/5.2 verify against this.
+    double slew_limit_ps{100.0};
+    /// Synthesis target [ps]: "we set it to 80 ps during synthesis in
+    /// order to leave a margin" (Sec 5.1).
+    double slew_target_ps{80.0};
+
+    /// Edge cost = alpha * distance + beta * |delay difference|
+    /// (eq. 4.1). Distance in um, delay in ps.
+    double cost_alpha{1.0};
+    double cost_beta{25.0};
+
+    /// Routing grid: R cells per bounding-box dimension (Sec 4.2.2)...
+    int grid_cells_per_dim{45};
+    /// ...grown dynamically so the cell pitch never exceeds this [um].
+    double grid_max_pitch_um{300.0};
+    /// Margin added around the two nodes' bounding box [um].
+    double grid_margin_um{0.0};
+
+    /// Evaluate all buffer types at insertion points and keep the one
+    /// whose end slew lands closest under the target (Fig 4.4). When
+    /// false, always insert the smallest type as soon as it is needed.
+    bool intelligent_sizing{true};
+
+    /// Insert a buffer directly above an unbuffered merge-node subtree
+    /// root whenever the new routing path itself carries no buffer,
+    /// keeping every timing component single-wire or single-branch
+    /// shaped (see DESIGN.md).
+    bool force_subtree_root_buffer{true};
+
+    HStructureMode hstructure{HStructureMode::off};
+    SeedPolicy seed_policy{SeedPolicy::max_latency};
+    MatchingPolicy matching{MatchingPolicy::greedy_centroid};
+
+    /// Binary-search stage (Sec 4.2.3).
+    int binary_search_iters{24};
+
+    /// Input slew assumed at every driver during bottom-up routing
+    /// (the paper assumes the slew limit; <= 0 means use slew_target).
+    double assumed_input_slew_ps{0.0};
+
+    /// Source: buffer type driving the tree root (-1 = largest).
+    int source_buffer{-1};
+    double source_slew_ps{50.0};
+
+    /// Deterministic seed for tie-breaking / SeedPolicy::random.
+    unsigned rng_seed{1};
+
+    double assumed_slew() const {
+        return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;
+    }
+};
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_OPTIONS_H

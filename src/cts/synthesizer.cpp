@@ -1,0 +1,71 @@
+#include "cts/synthesizer.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ctsim::cts {
+
+SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
+                           const delaylib::DelayModel& model, const SynthesisOptions& opt) {
+    if (sinks.empty()) throw std::invalid_argument("synthesize: no sinks");
+
+    SynthesisResult res;
+    res.source_buffer =
+        opt.source_buffer >= 0 ? opt.source_buffer : model.buffers().largest();
+
+    std::vector<int> roots;
+    std::unordered_map<int, RootTiming> timing;
+    std::unordered_map<int, MergeRecord> records;
+    roots.reserve(sinks.size());
+    for (const SinkSpec& s : sinks) {
+        const int id = res.tree.add_sink(s.pos, s.cap_ff, s.name);
+        roots.push_back(id);
+        timing[id] = RootTiming{0.0, 0.0};
+    }
+
+    if (roots.size() == 1) {
+        res.root = roots[0];
+        res.root_timing = timing[roots[0]];
+        return res;
+    }
+
+    std::mt19937 rng(opt.rng_seed);
+    HStructureContext hctx{&records, &timing};
+
+    while (roots.size() > 1) {
+        std::vector<LevelNode> level;
+        level.reserve(roots.size());
+        for (int r : roots)
+            level.push_back({r, res.tree.node(r).pos, timing.at(r).max_ps});
+
+        const Pairing pairing = select_pairs(level, opt, rng);
+
+        std::vector<int> next;
+        next.reserve(pairing.pairs.size() + 1);
+        for (auto [u, v] : pairing.pairs) {
+            if (opt.hstructure != HStructureMode::off) {
+                std::tie(u, v) = hstructure_check(res.tree, u, v, hctx, model, opt,
+                                                  res.hstats);
+            }
+            const MergeRecord rec =
+                merge_route(res.tree, u, v, timing.at(u), timing.at(v), model, opt);
+            records[rec.merge_node] = rec;
+            timing[rec.merge_node] = rec.timing;
+            next.push_back(rec.merge_node);
+        }
+        if (pairing.seed >= 0) next.push_back(pairing.seed);
+        roots = std::move(next);
+        res.levels += 1;
+        if (res.levels > 64)
+            throw std::runtime_error("synthesize: level budget exceeded (non-terminating?)");
+    }
+
+    res.root = roots[0];
+    res.root_timing = timing.at(res.root);
+    res.tree.validate_subtree(res.root);
+    res.wire_length_um = res.tree.wire_length_below(res.root);
+    res.buffer_count = res.tree.buffer_count_below(res.root);
+    return res;
+}
+
+}  // namespace ctsim::cts

@@ -1,0 +1,59 @@
+// Top-level buffered clock tree synthesis (Fig 4.1).
+//
+// Levelized loop: build the nearest-neighbor pairing of the current
+// roots, merge every pair with merge-routing (optionally revisiting
+// H-structure pairings first), pass the seed node through on odd
+// levels, and repeat until a single root remains.
+//
+// This is the public entry point of the library:
+//
+//   auto model = delaylib::FittedLibrary::load_or_characterize(...);
+//   cts::SynthesisOptions opt;
+//   cts::SynthesisResult res = cts::synthesize(sinks, *model, opt);
+//   circuit::Netlist net = res.tree.to_netlist(res.root, tech, lib,
+//                                              res.source_buffer);
+//   sim::NetlistSimReport rep = sim::simulate_netlist(net, tech, lib);
+#ifndef CTSIM_CTS_SYNTHESIZER_H
+#define CTSIM_CTS_SYNTHESIZER_H
+
+#include <string>
+#include <vector>
+
+#include "cts/clock_tree.h"
+#include "cts/hstructure.h"
+#include "cts/merge_routing.h"
+#include "cts/options.h"
+#include "cts/timing.h"
+#include "cts/topology.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::cts {
+
+struct SinkSpec {
+    geom::Pt pos{};
+    double cap_ff{10.0};
+    std::string name;
+};
+
+struct SynthesisResult {
+    ClockTree tree;
+    int root{-1};
+    int source_buffer{-1};  ///< buffer type to instantiate at the source
+    int levels{0};
+    HStructureStats hstats;
+    RootTiming root_timing;  ///< pessimistic model timing at the root
+    double wire_length_um{0.0};
+    int buffer_count{0};
+
+    circuit::Netlist netlist(const tech::Technology& tech,
+                             const tech::BufferLibrary& lib) const {
+        return tree.to_netlist(root, tech, lib, source_buffer);
+    }
+};
+
+SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
+                           const delaylib::DelayModel& model, const SynthesisOptions& opt);
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_SYNTHESIZER_H

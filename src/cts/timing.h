@@ -1,0 +1,68 @@
+// Library-based timing analysis on clock trees.
+//
+// The tree is cut at buffer nodes into single-wire and branch
+// components (the shapes of Sec 3.2) and evaluated with a DelayModel.
+// Two modes mirror the paper's discipline:
+//  * pessimistic: every driver input slew is assumed equal to the
+//    synthesis slew target -- the assumption the bottom-up routing
+//    makes ("assuming the driving buffer input slew to be equal to
+//    the slew limit", Sec 4.2.2);
+//  * propagated: slews computed top-down from the source, the final
+//    accurate analysis.
+#ifndef CTSIM_CTS_TIMING_H
+#define CTSIM_CTS_TIMING_H
+
+#include <vector>
+
+#include "cts/clock_tree.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::cts {
+
+struct SinkTiming {
+    int node{-1};
+    double arrival_ps{0.0};  ///< delay from the analysis root
+    double slew_ps{0.0};     ///< slew at the sink input
+};
+
+struct TimingReport {
+    std::vector<SinkTiming> sinks;
+    double max_arrival_ps{0.0};
+    double min_arrival_ps{0.0};
+    double worst_slew_ps{0.0};  ///< max slew over all component loads
+    double skew_ps() const { return max_arrival_ps - min_arrival_ps; }
+};
+
+struct TimingOptions {
+    /// Driver type assumed at unbuffered roots and (in pessimistic
+    /// mode) irrelevant elsewhere; -1 = largest in the library.
+    int virtual_driver{-1};
+    /// Input slew at the analysis root's driver [ps].
+    double input_slew_ps{80.0};
+    /// When false, every buffer input slew is replaced by
+    /// input_slew_ps (the pessimistic bottom-up assumption).
+    bool propagate_slews{true};
+};
+
+/// Analyze the subtree rooted at `root`. Arrivals are measured from
+/// the input of `root` (if `root` is a buffer, its delay is included;
+/// otherwise a virtual driver of type opt.virtual_driver drives the
+/// wires below `root` and no buffer delay is charged at the root).
+TimingReport analyze(const ClockTree& tree, int root, const delaylib::DelayModel& model,
+                     const TimingOptions& opt = {});
+
+/// Cached per-root summary used by the synthesis loop.
+struct RootTiming {
+    double max_ps{0.0};
+    double min_ps{0.0};
+};
+/// With `propagate` set, slews are tracked top-down from the subtree
+/// root (only the root driver's input slew remains assumed); this is
+/// considerably closer to transient simulation than the fully
+/// pessimistic mode and is what the merge-time balancing runs on.
+RootTiming subtree_timing(const ClockTree& tree, int root, const delaylib::DelayModel& model,
+                          double assumed_slew_ps, bool propagate = false);
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_TIMING_H

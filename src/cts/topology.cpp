@@ -1,0 +1,163 @@
+#include "cts/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ctsim::cts {
+
+double edge_cost(const LevelNode& u, const LevelNode& v, const SynthesisOptions& opt) {
+    return opt.cost_alpha * geom::manhattan(u.pos, v.pos) +
+           opt.cost_beta * std::abs(u.latency_ps - v.latency_ps);
+}
+
+namespace {
+
+int pick_seed(const std::vector<LevelNode>& nodes, const SynthesisOptions& opt,
+              std::mt19937& rng) {
+    if (opt.seed_policy == SeedPolicy::random) {
+        std::uniform_int_distribution<std::size_t> d(0, nodes.size() - 1);
+        return static_cast<int>(d(rng));
+    }
+    // Max latency: "the nodes in the next level have larger delays", so
+    // passing the slowest node up balances better.
+    int best = 0;
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+        if (nodes[i].latency_ps > nodes[best].latency_ps) best = static_cast<int>(i);
+    return best;
+}
+
+Pairing greedy_centroid(const std::vector<LevelNode>& nodes, const SynthesisOptions& opt,
+                        std::mt19937& rng) {
+    Pairing out;
+    const std::size_t n = nodes.size();
+    std::vector<char> used(n, 0);
+
+    if (n % 2 == 1) {
+        const int s = pick_seed(nodes, opt, rng);
+        used[s] = 1;
+        out.seed = nodes[s].id;
+    }
+
+    geom::Pt centroid{0.0, 0.0};
+    for (const LevelNode& v : nodes) centroid = centroid + v.pos;
+    centroid = (1.0 / static_cast<double>(n)) * centroid;
+
+    std::size_t remaining = n - (n % 2);
+    while (remaining >= 2) {
+        // Farthest unused node from the centroid...
+        int far = -1;
+        double best_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (used[i]) continue;
+            const double d = geom::manhattan(nodes[i].pos, centroid);
+            if (d > best_d) {
+                best_d = d;
+                far = static_cast<int>(i);
+            }
+        }
+        // ...paired with its lowest-cost unused neighbor.
+        int mate = -1;
+        double best_c = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (used[i] || static_cast<int>(i) == far) continue;
+            const double c = edge_cost(nodes[far], nodes[i], opt);
+            if (c < best_c) {
+                best_c = c;
+                mate = static_cast<int>(i);
+            }
+        }
+        used[far] = used[mate] = 1;
+        out.pairs.emplace_back(nodes[far].id, nodes[mate].id);
+        remaining -= 2;
+    }
+    return out;
+}
+
+/// Drake-Hougardy path growing, adapted to minimum cost on a complete
+/// graph: grow paths along locally cheapest edges, splitting the path
+/// edges alternately into two matchings and keeping the cheaper one.
+Pairing path_growing(const std::vector<LevelNode>& nodes, const SynthesisOptions& opt,
+                     std::mt19937& rng) {
+    Pairing out;
+    const std::size_t n = nodes.size();
+    std::vector<char> used(n, 0);
+    if (n % 2 == 1) {
+        const int s = pick_seed(nodes, opt, rng);
+        used[s] = 1;
+        out.seed = nodes[s].id;
+    }
+
+    std::vector<char> removed = used;  // vertices consumed by path growth
+    std::vector<std::pair<int, int>> m[2];
+    double cost[2] = {0.0, 0.0};
+
+    for (std::size_t start = 0; start < n; ++start) {
+        if (removed[start]) continue;
+        std::size_t x = start;
+        int side = 0;
+        while (true) {
+            removed[x] = 1;
+            int next = -1;
+            double best = std::numeric_limits<double>::max();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (removed[i]) continue;
+                const double c = edge_cost(nodes[x], nodes[i], opt);
+                if (c < best) {
+                    best = c;
+                    next = static_cast<int>(i);
+                }
+            }
+            if (next < 0) break;
+            m[side].emplace_back(static_cast<int>(x), next);
+            cost[side] += best;
+            side ^= 1;
+            x = static_cast<std::size_t>(next);
+        }
+    }
+
+    // Keep the cheaper alternating matching, then pair leftovers
+    // greedily so the level still halves.
+    const int keep = cost[0] <= cost[1] ? 0 : 1;
+    std::vector<char> matched(n, 0);
+    for (auto [u, v] : m[keep]) {
+        if (matched[u] || matched[v]) continue;
+        matched[u] = matched[v] = 1;
+        out.pairs.emplace_back(nodes[u].id, nodes[v].id);
+    }
+    std::vector<int> left;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!matched[i] && !used[i]) left.push_back(static_cast<int>(i));
+    while (left.size() >= 2) {
+        const int u = left.back();
+        left.pop_back();
+        std::size_t bi = 0;
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < left.size(); ++i) {
+            const double c = edge_cost(nodes[u], nodes[left[i]], opt);
+            if (c < best) {
+                best = c;
+                bi = i;
+            }
+        }
+        out.pairs.emplace_back(nodes[u].id, nodes[left[bi]].id);
+        left.erase(left.begin() + static_cast<std::ptrdiff_t>(bi));
+    }
+    if (!left.empty()) {
+        if (out.seed >= 0)
+            throw std::runtime_error("topology: leftover node with seed already chosen");
+        out.seed = nodes[left[0]].id;
+    }
+    return out;
+}
+
+}  // namespace
+
+Pairing select_pairs(const std::vector<LevelNode>& nodes, const SynthesisOptions& opt,
+                     std::mt19937& rng) {
+    if (nodes.size() < 2) throw std::invalid_argument("topology: need at least two nodes");
+    return opt.matching == MatchingPolicy::greedy_centroid ? greedy_centroid(nodes, opt, rng)
+                                                           : path_growing(nodes, opt, rng);
+}
+
+}  // namespace ctsim::cts

@@ -1,0 +1,92 @@
+#include "delaylib/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/rc_tree.h"
+#include "moments/closed_form.h"
+#include "moments/rc_moments.h"
+
+namespace ctsim::delaylib {
+
+AnalyticModel::AnalyticModel(const tech::Technology& tech, const tech::BufferLibrary& lib)
+    : DelayModel(tech, lib) {
+    out_res_.reserve(lib.count());
+    in_cap_.reserve(lib.count());
+    for (int t = 0; t < lib.count(); ++t) {
+        out_res_.push_back(lib.type(t).output_res_kohm(tech));
+        in_cap_.push_back(lib.type(t).input_cap_ff(tech));
+    }
+}
+
+AnalyticModel::WireEst AnalyticModel::wire_estimate(double rdrv, double len,
+                                                    double cload) const {
+    const tech::Technology& tk = technology();
+    if (len <= 0.0) {
+        // Lumped: single pole tau = rdrv * cload.
+        const double tau = rdrv * cload;
+        return {tau * 0.6931, tau * std::log(9.0)};
+    }
+    circuit::RcTree t;
+    const int segs = std::max(2, static_cast<int>(len / 100.0));
+    const int end = t.add_wire(0, len, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, segs);
+    t.add_cap(end, cload);
+    const auto m = moments::moments(t, rdrv);
+    const moments::StepResponse s = moments::lognormal_step(m[end]);
+    return {s.delay_ps, s.slew_ps};
+}
+
+double AnalyticModel::buffer_delay(int d, int l, double slew_in, double len) const {
+    const tech::Technology& tk = technology();
+    // Load seen by the output stage: the whole wire plus the far load
+    // (first order; shielding affects mostly the wire delay term).
+    const double cload = tk.wire_cap_ff(len) + in_cap_[l];
+    return std::max(1.0, isect_ + slew_coef_ * slew_in + 0.69 * out_res_[d] * cload);
+}
+
+double AnalyticModel::wire_delay(int d, int l, double slew_in, double len) const {
+    (void)slew_in;  // PERI: the 50% delay is insensitive to input slew
+    return wire_estimate(out_res_[d], len, in_cap_[l]).delay;
+}
+
+double AnalyticModel::wire_slew(int d, int l, double slew_in, double len) const {
+    const WireEst e = wire_estimate(out_res_[d], len, in_cap_[l]);
+    // The driver regenerates the edge, so the slew entering the wire is
+    // the buffer's own output edge, not the component input slew; model
+    // it as a fraction of the input slew plus the drive-limited edge.
+    const double out_edge = 12.0 + 0.15 * slew_in;
+    return moments::peri_ramp_slew(e.step_slew, out_edge);
+}
+
+BranchTiming AnalyticModel::branch(int d, int l_left, int l_right, double slew_in, double stem,
+                                   double left, double right) const {
+    const tech::Technology& tk = technology();
+    circuit::RcTree t;
+    const int stem_segs = std::max(1, static_cast<int>(stem / 100.0));
+    const int split = t.add_wire(0, stem, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um,
+                                 stem_segs);
+    const int lsegs = std::max(1, static_cast<int>(left / 100.0));
+    const int lend = t.add_wire(split, left, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um,
+                                lsegs);
+    t.add_cap(lend, in_cap_[l_left]);
+    const int rsegs = std::max(1, static_cast<int>(right / 100.0));
+    const int rend = t.add_wire(split, right, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um,
+                                rsegs);
+    t.add_cap(rend, in_cap_[l_right]);
+
+    const auto m = moments::moments(t, out_res_[d]);
+    const moments::StepResponse sl = moments::lognormal_step(m[lend]);
+    const moments::StepResponse sr = moments::lognormal_step(m[rend]);
+
+    BranchTiming bt;
+    const double cload = t.total_cap_ff();
+    bt.buffer_delay_ps = std::max(1.0, isect_ + slew_coef_ * slew_in + 0.69 * out_res_[d] * cload * 0.5);
+    bt.delay_left_ps = sl.delay_ps;
+    bt.delay_right_ps = sr.delay_ps;
+    const double out_edge = 12.0 + 0.15 * slew_in;
+    bt.slew_left_ps = moments::peri_ramp_slew(sl.slew_ps, out_edge);
+    bt.slew_right_ps = moments::peri_ramp_slew(sr.slew_ps, out_edge);
+    return bt;
+}
+
+}  // namespace ctsim::delaylib

@@ -1,0 +1,45 @@
+// Closed-form (moment-based) delay model.
+//
+// Chapter 3's "insufficient" baselines packaged behind the DelayModel
+// interface: Elmore/lognormal delays with the PERI ramp extension for
+// wires, and a first-order switching-resistance model for buffers.
+// It is orders of magnitude cheaper than the fitted library and has
+// no characterization step, so the CTS unit tests and the unbuffered
+// baselines run on it; the reproduction experiments use FittedLibrary.
+#ifndef CTSIM_DELAYLIB_ANALYTIC_MODEL_H
+#define CTSIM_DELAYLIB_ANALYTIC_MODEL_H
+
+#include "delaylib/delay_model.h"
+
+namespace ctsim::delaylib {
+
+class AnalyticModel final : public DelayModel {
+  public:
+    AnalyticModel(const tech::Technology& tech, const tech::BufferLibrary& lib);
+
+    double buffer_delay(int d, int l, double slew_in, double len) const override;
+    double wire_delay(int d, int l, double slew_in, double len) const override;
+    double wire_slew(int d, int l, double slew_in, double len) const override;
+    BranchTiming branch(int d, int l_left, int l_right, double slew_in, double stem,
+                        double left, double right) const override;
+
+  private:
+    struct WireEst {
+        double delay{0.0};
+        double step_slew{0.0};
+    };
+    /// Lognormal delay/step-slew at the end of a wire of length `len`
+    /// behind driver resistance `rdrv`, loaded by `cload` at the end.
+    WireEst wire_estimate(double rdrv, double len, double cload) const;
+
+    std::vector<double> out_res_;   // per buffer type [kOhm]
+    std::vector<double> in_cap_;    // per buffer type [fF]
+    /// Intrinsic-delay coefficients: delay = isect + slew_coef*slew
+    /// + 0.69*Rout*Cload; calibrated once against the transistor model.
+    double slew_coef_{0.2};
+    double isect_{2.0};
+};
+
+}  // namespace ctsim::delaylib
+
+#endif  // CTSIM_DELAYLIB_ANALYTIC_MODEL_H

@@ -1,0 +1,126 @@
+#include "delaylib/characterizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/rc_tree.h"
+
+namespace ctsim::delaylib {
+
+namespace {
+
+int segments_for(double len_um) {
+    return std::max(1, static_cast<int>(std::ceil(len_um / 50.0)));
+}
+
+}  // namespace
+
+SweepGrid SweepGrid::quick() {
+    SweepGrid g;
+    // Every dimension keeps at least (degree + 1) distinct values for
+    // the degrees used in tests (3 single / 2 branch).
+    g.input_lens_um = {1.0, 800.0, 2000.0, 3500.0};
+    g.wire_lens_um = {10.0, 800.0, 2000.0, 3200.0, 4500.0};
+    g.branch_input_lens_um = {1.0, 1500.0, 3500.0};
+    g.stem_lens_um = {10.0, 1200.0, 2600.0};
+    g.branch_lens_um = {50.0, 1500.0, 3000.0};
+    g.solver.dt_ps = 1.0;
+    return g;
+}
+
+Characterizer::ShapedInput Characterizer::shape_input(int driver, double input_len_um,
+                                                      const sim::SolverOptions& opt) const {
+    const tech::BufferType& binput = lib_->type(driver);
+    circuit::RcTree t;
+    const int end = t.add_wire(0, input_len_um, tech_->wire_res_kohm_per_um,
+                               tech_->wire_cap_ff_per_um, segments_for(input_len_um));
+    t.add_cap(end, lib_->type(driver).input_cap_ff(*tech_));
+
+    const sim::Waveform ramp = sim::Waveform::ramp(tech_->vdd, 60.0, 10.0, opt.dt_ps);
+    const sim::StageResult r = sim::simulate_stage(t, &binput, ramp, {end}, *tech_, opt);
+    if (!r.settled || !r.node_timing[end].slew() || !r.node_timing[end].t50)
+        throw std::runtime_error("characterizer: input shaping did not settle");
+    return ShapedInput{r.tap_waveforms[0], *r.node_timing[end].slew(), *r.node_timing[end].t50};
+}
+
+SingleWireSample Characterizer::measure_single(int driver, int load, double input_len_um,
+                                               double wire_len_um,
+                                               const sim::SolverOptions& opt) const {
+    const ShapedInput in = shape_input(driver, input_len_um, opt);
+
+    circuit::RcTree t;
+    const int end = t.add_wire(0, wire_len_um, tech_->wire_res_kohm_per_um,
+                               tech_->wire_cap_ff_per_um, segments_for(wire_len_um));
+    t.add_cap(end, lib_->type(load).input_cap_ff(*tech_));
+
+    const sim::StageResult r =
+        sim::simulate_stage(t, &lib_->type(driver), in.wave, {}, *tech_, opt);
+    if (!r.settled || !r.node_timing[0].t50 || !r.node_timing[end].t50 ||
+        !r.node_timing[end].slew())
+        throw std::runtime_error("characterizer: single-wire measurement did not settle");
+
+    SingleWireSample s;
+    s.input_slew_ps = in.slew_ps;
+    s.wire_len_um = wire_len_um;
+    s.buffer_delay_ps = *r.node_timing[0].t50 - in.t50_ps;
+    s.wire_delay_ps = *r.node_timing[end].t50 - *r.node_timing[0].t50;
+    s.wire_slew_ps = *r.node_timing[end].slew();
+    return s;
+}
+
+BranchSample Characterizer::measure_branch(int driver, int load, double input_len_um,
+                                           double stem_um, double left_um, double right_um,
+                                           const sim::SolverOptions& opt) const {
+    const ShapedInput in = shape_input(driver, input_len_um, opt);
+
+    circuit::RcTree t;
+    const int split = t.add_wire(0, stem_um, tech_->wire_res_kohm_per_um,
+                                 tech_->wire_cap_ff_per_um, segments_for(stem_um));
+    const int lend = t.add_wire(split, left_um, tech_->wire_res_kohm_per_um,
+                                tech_->wire_cap_ff_per_um, segments_for(left_um));
+    t.add_cap(lend, lib_->type(load).input_cap_ff(*tech_));
+    const int rend = t.add_wire(split, right_um, tech_->wire_res_kohm_per_um,
+                                tech_->wire_cap_ff_per_um, segments_for(right_um));
+    t.add_cap(rend, lib_->type(load).input_cap_ff(*tech_));
+
+    const sim::StageResult r =
+        sim::simulate_stage(t, &lib_->type(driver), in.wave, {}, *tech_, opt);
+    if (!r.settled || !r.node_timing[0].t50 || !r.node_timing[lend].t50 ||
+        !r.node_timing[rend].t50)
+        throw std::runtime_error("characterizer: branch measurement did not settle");
+
+    BranchSample s;
+    s.input_slew_ps = in.slew_ps;
+    s.stem_len_um = stem_um;
+    s.left_len_um = left_um;
+    s.right_len_um = right_um;
+    s.buffer_delay_ps = *r.node_timing[0].t50 - in.t50_ps;
+    s.delay_left_ps = *r.node_timing[lend].t50 - *r.node_timing[0].t50;
+    s.delay_right_ps = *r.node_timing[rend].t50 - *r.node_timing[0].t50;
+    s.slew_left_ps = r.node_timing[lend].slew().value_or(0.0);
+    s.slew_right_ps = r.node_timing[rend].slew().value_or(0.0);
+    return s;
+}
+
+std::vector<SingleWireSample> Characterizer::sweep_single(int driver, int load,
+                                                          const SweepGrid& grid) const {
+    std::vector<SingleWireSample> out;
+    out.reserve(grid.input_lens_um.size() * grid.wire_lens_um.size());
+    for (double lin : grid.input_lens_um)
+        for (double lw : grid.wire_lens_um)
+            out.push_back(measure_single(driver, load, lin, lw, grid.solver));
+    return out;
+}
+
+std::vector<BranchSample> Characterizer::sweep_branch(int driver, int load,
+                                                      const SweepGrid& grid) const {
+    std::vector<BranchSample> out;
+    for (double lin : grid.branch_input_lens_um)
+        for (double stem : grid.stem_lens_um)
+            for (double ll : grid.branch_lens_um)
+                for (double lr : grid.branch_lens_um)
+                    out.push_back(measure_branch(driver, load, lin, stem, ll, lr, grid.solver));
+    return out;
+}
+
+}  // namespace ctsim::delaylib

@@ -1,0 +1,98 @@
+// Characterization harness: the Fig 3.3 / Fig 3.5 measurement circuits.
+//
+// For every (driver type, load type) combination we sweep the input
+// wire length Linput (which shapes the realistic curved input
+// waveform and thereby the input slew) and the load wire length(s),
+// simulate with the transient solver, and record
+//   input slew, buffer intrinsic delay, wire delay(s), wire slew(s).
+// The paper runs exactly these sweeps in SPICE and then surface-fits
+// them in MATLAB (Sec 3.2); fitted_library.h does the fitting here.
+#ifndef CTSIM_DELAYLIB_CHARACTERIZER_H
+#define CTSIM_DELAYLIB_CHARACTERIZER_H
+
+#include <vector>
+
+#include "sim/stage_solver.h"
+#include "tech/buffer_lib.h"
+#include "tech/technology.h"
+
+namespace ctsim::delaylib {
+
+/// One single-wire measurement (Fig 3.3(b)).
+struct SingleWireSample {
+    double input_slew_ps{0.0};
+    double wire_len_um{0.0};
+    double buffer_delay_ps{0.0};
+    double wire_delay_ps{0.0};
+    double wire_slew_ps{0.0};
+};
+
+/// One branch measurement (Fig 3.5).
+struct BranchSample {
+    double input_slew_ps{0.0};
+    double stem_len_um{0.0};
+    double left_len_um{0.0};
+    double right_len_um{0.0};
+    double buffer_delay_ps{0.0};
+    double delay_left_ps{0.0};
+    double delay_right_ps{0.0};
+    double slew_left_ps{0.0};
+    double slew_right_ps{0.0};
+};
+
+struct SweepGrid {
+    /// Lengths of the slew-shaping input wire (Fig 3.3's Linput).
+    std::vector<double> input_lens_um{1.0, 500.0, 1200.0, 2000.0, 3000.0, 4200.0};
+    /// Load wire lengths for single-wire components.
+    std::vector<double> wire_lens_um{10.0,   250.0,  600.0,  1000.0, 1500.0,
+                                     2100.0, 2800.0, 3600.0, 4500.0};
+    /// Branch sweep: subset of input lens, stem lens and branch lens.
+    std::vector<double> branch_input_lens_um{1.0, 1500.0, 3500.0};
+    std::vector<double> stem_lens_um{10.0, 600.0, 1500.0, 2800.0};
+    std::vector<double> branch_lens_um{50.0, 800.0, 1800.0, 3000.0};
+
+    sim::SolverOptions solver{};
+
+    /// Coarse grid for fast unit tests.
+    static SweepGrid quick();
+};
+
+class Characterizer {
+  public:
+    Characterizer(const tech::Technology& tech, const tech::BufferLibrary& lib)
+        : tech_(&tech), lib_(&lib) {}
+
+    /// Single measurement on the Fig 3.3 circuit.
+    SingleWireSample measure_single(int driver, int load, double input_len_um,
+                                    double wire_len_um,
+                                    const sim::SolverOptions& opt = {}) const;
+
+    /// Single measurement on the Fig 3.5 circuit (stem + two branches).
+    BranchSample measure_branch(int driver, int load, double input_len_um, double stem_um,
+                                double left_um, double right_um,
+                                const sim::SolverOptions& opt = {}) const;
+
+    /// Full sweep for one (driver, load) pair.
+    std::vector<SingleWireSample> sweep_single(int driver, int load,
+                                               const SweepGrid& grid) const;
+    std::vector<BranchSample> sweep_branch(int driver, int load, const SweepGrid& grid) const;
+
+  private:
+    /// Shape a realistic curved input: ideal ramp -> Binput (same type
+    /// as the driver) -> wire of input_len -> waveform at driver input.
+    /// Returns the waveform and its measured 10-90% slew / t50.
+    struct ShapedInput {
+        sim::Waveform wave;
+        double slew_ps{0.0};
+        double t50_ps{0.0};
+    };
+    ShapedInput shape_input(int driver, double input_len_um,
+                            const sim::SolverOptions& opt) const;
+
+    const tech::Technology* tech_;
+    const tech::BufferLibrary* lib_;
+};
+
+}  // namespace ctsim::delaylib
+
+#endif  // CTSIM_DELAYLIB_CHARACTERIZER_H

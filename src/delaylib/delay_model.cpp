@@ -1,0 +1,21 @@
+#include "delaylib/delay_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ctsim::delaylib {
+
+int DelayModel::load_type_for_cap(double cap_ff) const {
+    int best = 0;
+    double best_err = std::numeric_limits<double>::max();
+    for (int t = 0; t < lib_->count(); ++t) {
+        const double err = std::abs(lib_->type(t).input_cap_ff(*tech_) - cap_ff);
+        if (err < best_err) {
+            best_err = err;
+            best = t;
+        }
+    }
+    return best;
+}
+
+}  // namespace ctsim::delaylib

@@ -1,0 +1,91 @@
+// Delay/slew model interface for buffered clock tree components.
+//
+// Following Sec 3.2, the clock tree is partitioned at buffered nodes
+// into two component shapes, and all timing queries are expressed on
+// those shapes:
+//
+//  single-wire:  [driver buffer] --- wire L --- [load buffer or sink]
+//  branch:       [driver buffer] -- stem -- + -- left  -- [load]
+//                                           `--- right -- [load]
+//
+// Queries take the driver's *input* slew, because that is what the
+// paper identifies as the dominant, hard-to-predict variable in
+// bottom-up synthesis. Sinks are mapped to the buffer type of nearest
+// input capacitance ("Components ending with a sink can be
+// approximated by a component ending with a buffer of similar load
+// capacitance").
+//
+// Two implementations exist:
+//  * FittedLibrary (fitted_library.h) - the paper's pre-characterized
+//    polynomial library, built from transient-simulation sweeps;
+//  * AnalyticModel (analytic_model.h) - closed-form moment-based
+//    estimates; fast, used by baselines and as a cross-check.
+#ifndef CTSIM_DELAYLIB_DELAY_MODEL_H
+#define CTSIM_DELAYLIB_DELAY_MODEL_H
+
+#include "tech/buffer_lib.h"
+#include "tech/technology.h"
+
+namespace ctsim::delaylib {
+
+/// Timing of a branch-type component (all times ps, slews 10-90%).
+struct BranchTiming {
+    double buffer_delay_ps{0.0};  ///< driver input 50% -> driver output 50%
+    double delay_left_ps{0.0};    ///< driver output 50% -> left end 50%
+    double delay_right_ps{0.0};
+    double slew_left_ps{0.0};     ///< slew at the left end
+    double slew_right_ps{0.0};
+};
+
+class DelayModel {
+  public:
+    /// The model observes (does not own) the technology and the buffer
+    /// library; both must outlive it. Passing temporaries dangles.
+    DelayModel(const tech::Technology& tech, const tech::BufferLibrary& lib)
+        : tech_(&tech), lib_(&lib) {}
+    virtual ~DelayModel() = default;
+
+    DelayModel(const DelayModel&) = delete;
+    DelayModel& operator=(const DelayModel&) = delete;
+
+    /// Driver intrinsic delay: input 50% to output 50% crossing, for a
+    /// driver of type `d` with input slew `slew_in`, driving a wire of
+    /// `len` um terminated by load type `l`.
+    virtual double buffer_delay(int d, int l, double slew_in, double len) const = 0;
+    /// Wire delay: driver output 50% to wire end 50%.
+    virtual double wire_delay(int d, int l, double slew_in, double len) const = 0;
+    /// Slew at the wire end (= input slew of the next stage).
+    virtual double wire_slew(int d, int l, double slew_in, double len) const = 0;
+
+    /// Branch-type component (two branches, per Sec 3.2.2).
+    virtual BranchTiming branch(int d, int l_left, int l_right, double slew_in, double stem,
+                                double left, double right) const = 0;
+
+    const tech::Technology& technology() const { return *tech_; }
+    const tech::BufferLibrary& buffers() const { return *lib_; }
+
+    double buffer_input_cap(int type) const { return lib_->type(type).input_cap_ff(*tech_); }
+
+    /// Buffer type whose input capacitance is nearest `cap_ff` (the
+    /// paper's sink-load approximation).
+    int load_type_for_cap(double cap_ff) const;
+
+    /// Convenience: full single-wire component traversal. Returns the
+    /// delay from driver input 50% to wire end 50% and the end slew.
+    struct StageTiming {
+        double delay_ps{0.0};
+        double end_slew_ps{0.0};
+    };
+    StageTiming stage(int d, int l, double slew_in, double len) const {
+        return {buffer_delay(d, l, slew_in, len) + wire_delay(d, l, slew_in, len),
+                wire_slew(d, l, slew_in, len)};
+    }
+
+  private:
+    const tech::Technology* tech_;
+    const tech::BufferLibrary* lib_;
+};
+
+}  // namespace ctsim::delaylib
+
+#endif  // CTSIM_DELAYLIB_DELAY_MODEL_H

@@ -1,0 +1,220 @@
+#include "delaylib/fitted_library.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ctsim::delaylib {
+
+namespace {
+constexpr char kMagic[] = "ctsim-delaylib-v1";
+}
+
+double FitReport::worst_max_abs() const {
+    double w = 0.0;
+    for (const Entry& e : entries) w = std::max(w, e.residuals.max_abs);
+    return w;
+}
+
+int FittedLibrary::pair_index(int d, int l) const {
+    const int n = buffers().count();
+    if (d < 0 || d >= n || l < 0 || l >= n)
+        throw std::out_of_range("delay library: buffer type out of range");
+    return d * n + l;
+}
+
+void FittedLibrary::clamp_single(double& slew, double& len) const {
+    slew = std::clamp(slew, min_slew_, max_slew_);
+    len = std::clamp(len, 0.0, max_len_);
+}
+
+std::unique_ptr<FittedLibrary> FittedLibrary::characterize(const tech::Technology& tech,
+                                                           const tech::BufferLibrary& lib,
+                                                           const FitOptions& opt) {
+    std::unique_ptr<FittedLibrary> out(new FittedLibrary(tech, lib));
+    const int n = lib.count();
+    out->single_.resize(static_cast<std::size_t>(n) * n);
+    out->branch_.resize(static_cast<std::size_t>(n) * n);
+    out->max_len_ = *std::max_element(opt.grid.wire_lens_um.begin(),
+                                      opt.grid.wire_lens_um.end());
+    out->max_branch_len_ = *std::max_element(opt.grid.branch_lens_um.begin(),
+                                             opt.grid.branch_lens_um.end());
+    out->max_stem_len_ = *std::max_element(opt.grid.stem_lens_um.begin(),
+                                           opt.grid.stem_lens_um.end());
+
+    Characterizer ch(tech, lib);
+    double smin = 1e9, smax = 0.0;
+
+    for (int d = 0; d < n; ++d) {
+        for (int l = 0; l < n; ++l) {
+            const auto samples = ch.sweep_single(d, l, opt.grid);
+            std::vector<std::vector<double>> xs;
+            std::vector<double> bd, wd, ws;
+            xs.reserve(samples.size());
+            for (const SingleWireSample& s : samples) {
+                xs.push_back({s.input_slew_ps, s.wire_len_um});
+                bd.push_back(s.buffer_delay_ps);
+                wd.push_back(s.wire_delay_ps);
+                ws.push_back(s.wire_slew_ps);
+                smin = std::min(smin, s.input_slew_ps);
+                smax = std::max(smax, s.input_slew_ps);
+            }
+            SingleFit& f = out->single_[out->pair_index(d, l)];
+            f.buffer_delay = la::PolySurface::fit(2, opt.single_degree, xs, bd);
+            f.wire_delay = la::PolySurface::fit(2, opt.single_degree, xs, wd);
+            f.wire_slew = la::PolySurface::fit(2, opt.single_degree, xs, ws);
+            out->report_.entries.push_back({d, l, "buffer_delay", f.buffer_delay.residuals(xs, bd)});
+            out->report_.entries.push_back({d, l, "wire_delay", f.wire_delay.residuals(xs, wd)});
+            out->report_.entries.push_back({d, l, "wire_slew", f.wire_slew.residuals(xs, ws)});
+
+            const auto bsamples = ch.sweep_branch(d, l, opt.grid);
+            std::vector<std::vector<double>> bxs;
+            std::vector<double> bbd, dl, dr, sl, sr;
+            for (const BranchSample& s : bsamples) {
+                bxs.push_back({s.input_slew_ps, s.stem_len_um, s.left_len_um, s.right_len_um});
+                bbd.push_back(s.buffer_delay_ps);
+                dl.push_back(s.delay_left_ps);
+                dr.push_back(s.delay_right_ps);
+                sl.push_back(s.slew_left_ps);
+                sr.push_back(s.slew_right_ps);
+            }
+            BranchFit& bf = out->branch_[out->pair_index(d, l)];
+            bf.buffer_delay = la::PolySurface::fit(4, opt.branch_degree, bxs, bbd);
+            bf.delay_left = la::PolySurface::fit(4, opt.branch_degree, bxs, dl);
+            bf.delay_right = la::PolySurface::fit(4, opt.branch_degree, bxs, dr);
+            bf.slew_left = la::PolySurface::fit(4, opt.branch_degree, bxs, sl);
+            bf.slew_right = la::PolySurface::fit(4, opt.branch_degree, bxs, sr);
+            out->report_.entries.push_back({d, l, "branch_delay_left", bf.delay_left.residuals(bxs, dl)});
+            out->report_.entries.push_back({d, l, "branch_delay_right", bf.delay_right.residuals(bxs, dr)});
+            out->report_.entries.push_back({d, l, "branch_slew_left", bf.slew_left.residuals(bxs, sl)});
+            out->report_.entries.push_back({d, l, "branch_slew_right", bf.slew_right.residuals(bxs, sr)});
+        }
+    }
+    out->min_slew_ = smin;
+    out->max_slew_ = smax;
+    return out;
+}
+
+double FittedLibrary::buffer_delay(int d, int l, double slew_in, double len) const {
+    clamp_single(slew_in, len);
+    return single_[pair_index(d, l)].buffer_delay(slew_in, len);
+}
+
+double FittedLibrary::wire_delay(int d, int l, double slew_in, double len) const {
+    clamp_single(slew_in, len);
+    return std::max(0.0, single_[pair_index(d, l)].wire_delay(slew_in, len));
+}
+
+double FittedLibrary::wire_slew(int d, int l, double slew_in, double len) const {
+    clamp_single(slew_in, len);
+    return std::max(1.0, single_[pair_index(d, l)].wire_slew(slew_in, len));
+}
+
+BranchTiming FittedLibrary::branch(int d, int l_left, int l_right, double slew_in, double stem,
+                                   double left, double right) const {
+    slew_in = std::clamp(slew_in, min_slew_, max_slew_);
+    stem = std::clamp(stem, 0.0, max_stem_len_);
+    left = std::clamp(left, 0.0, max_branch_len_);
+    right = std::clamp(right, 0.0, max_branch_len_);
+    const std::array<double, 4> x{slew_in, stem, left, right};
+
+    // Left quantities come from the (d, left-load) surfaces and right
+    // ones from (d, right-load): the opposite branch's load enters only
+    // through its (second-order) effect on the shared stem.
+    const BranchFit& fl = branch_[pair_index(d, l_left)];
+    const BranchFit& fr = branch_[pair_index(d, l_right)];
+    BranchTiming t;
+    t.buffer_delay_ps = 0.5 * (fl.buffer_delay.evaluate(x) + fr.buffer_delay.evaluate(x));
+    t.delay_left_ps = std::max(0.0, fl.delay_left.evaluate(x));
+    t.delay_right_ps = std::max(0.0, fr.delay_right.evaluate(x));
+    t.slew_left_ps = std::max(1.0, fl.slew_left.evaluate(x));
+    t.slew_right_ps = std::max(1.0, fr.slew_right.evaluate(x));
+    return t;
+}
+
+void FittedLibrary::save(std::ostream& os) const {
+    os << kMagic << '\n';
+    os << buffers().count() << '\n';
+    os.precision(17);
+    os << max_len_ << ' ' << max_branch_len_ << ' ' << max_stem_len_ << ' ' << min_slew_ << ' '
+       << max_slew_ << '\n';
+    for (const SingleFit& f : single_) {
+        f.buffer_delay.serialize(os);
+        f.wire_delay.serialize(os);
+        f.wire_slew.serialize(os);
+    }
+    for (const BranchFit& f : branch_) {
+        f.buffer_delay.serialize(os);
+        f.delay_left.serialize(os);
+        f.delay_right.serialize(os);
+        f.slew_left.serialize(os);
+        f.slew_right.serialize(os);
+    }
+    // Persist the fit report so reloaded libraries can still print it.
+    os << report_.entries.size() << '\n';
+    for (const FitReport::Entry& e : report_.entries)
+        os << e.driver << ' ' << e.load << ' ' << e.quantity << ' ' << e.residuals.max_abs
+           << ' ' << e.residuals.rms << '\n';
+}
+
+std::unique_ptr<FittedLibrary> FittedLibrary::load(std::istream& is,
+                                                   const tech::Technology& tech,
+                                                   const tech::BufferLibrary& lib) {
+    std::string magic;
+    is >> magic;
+    if (magic != kMagic) throw std::runtime_error("delay library: bad cache header");
+    int n = 0;
+    is >> n;
+    if (n != lib.count())
+        throw std::runtime_error("delay library: cache was built for a different buffer count");
+
+    std::unique_ptr<FittedLibrary> out(new FittedLibrary(tech, lib));
+    is >> out->max_len_ >> out->max_branch_len_ >> out->max_stem_len_ >> out->min_slew_ >>
+        out->max_slew_;
+    out->single_.resize(static_cast<std::size_t>(n) * n);
+    out->branch_.resize(static_cast<std::size_t>(n) * n);
+    for (SingleFit& f : out->single_) {
+        f.buffer_delay = la::PolySurface::deserialize(is);
+        f.wire_delay = la::PolySurface::deserialize(is);
+        f.wire_slew = la::PolySurface::deserialize(is);
+    }
+    for (BranchFit& f : out->branch_) {
+        f.buffer_delay = la::PolySurface::deserialize(is);
+        f.delay_left = la::PolySurface::deserialize(is);
+        f.delay_right = la::PolySurface::deserialize(is);
+        f.slew_left = la::PolySurface::deserialize(is);
+        f.slew_right = la::PolySurface::deserialize(is);
+    }
+    std::size_t nrep = 0;
+    is >> nrep;
+    for (std::size_t i = 0; i < nrep && is; ++i) {
+        FitReport::Entry e;
+        is >> e.driver >> e.load >> e.quantity >> e.residuals.max_abs >> e.residuals.rms;
+        out->report_.entries.push_back(e);
+    }
+    if (!is) throw std::runtime_error("delay library: truncated cache");
+    return out;
+}
+
+std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(
+    const std::string& path, const tech::Technology& tech, const tech::BufferLibrary& lib,
+    const FitOptions& opt) {
+    {
+        std::ifstream in(path);
+        if (in) {
+            try {
+                return load(in, tech, lib);
+            } catch (const std::exception&) {
+                // fall through to re-characterization
+            }
+        }
+    }
+    auto fresh = characterize(tech, lib, opt);
+    std::ofstream outf(path);
+    if (outf) fresh->save(outf);
+    return fresh;
+}
+
+}  // namespace ctsim::delaylib

@@ -1,0 +1,113 @@
+// The pre-characterized delay/slew library (Sec 3.2).
+//
+// For each (driver type, load type) pair the library holds polynomial
+// surfaces over (input slew, wire length) for
+//   buffer intrinsic delay, wire delay, wire slew       (single-wire)
+// and over (input slew, stem, left len, right len) for
+//   buffer delay, left/right wire delay, left/right slew (branch).
+//
+// Single-wire fits are "3rd- or 4th-order polynomials" (we use 4th);
+// branch fits are the paper's "hyperplane fitting" generalization
+// (we use total degree 3 over 4 variables). Characterization costs a
+// few seconds, so the library can be serialized to a text cache and
+// reloaded (`save`/`load`).
+#ifndef CTSIM_DELAYLIB_FITTED_LIBRARY_H
+#define CTSIM_DELAYLIB_FITTED_LIBRARY_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "delaylib/characterizer.h"
+#include "delaylib/delay_model.h"
+#include "la/polyfit.h"
+
+namespace ctsim::delaylib {
+
+struct FitOptions {
+    SweepGrid grid{};
+    /// Single-wire fits: "3rd- or 4th-order polynomials" (Sec 3.2.1).
+    int single_degree{4};
+    /// Branch fits are low-order by design ("hyperplane fitting",
+    /// Sec 3.2.2); every sweep dimension must keep more distinct values
+    /// than this degree or the Vandermonde system loses rank.
+    int branch_degree{2};
+};
+
+/// Fit-quality report, for the Fig 3.4 / 3.6 / 3.7 benches.
+struct FitReport {
+    struct Entry {
+        int driver{0};
+        int load{0};
+        std::string quantity;
+        la::PolySurface::Residuals residuals;
+    };
+    std::vector<Entry> entries;
+    double worst_max_abs() const;
+};
+
+class FittedLibrary final : public DelayModel {
+  public:
+    /// Run the full characterization sweeps and fit all surfaces.
+    static std::unique_ptr<FittedLibrary> characterize(const tech::Technology& tech,
+                                                       const tech::BufferLibrary& lib,
+                                                       const FitOptions& opt = {});
+
+    /// Load a previously saved library (throws on format mismatch).
+    static std::unique_ptr<FittedLibrary> load(std::istream& is, const tech::Technology& tech,
+                                               const tech::BufferLibrary& lib);
+    /// Load from `path` if present, otherwise characterize and save.
+    static std::unique_ptr<FittedLibrary> load_or_characterize(const std::string& path,
+                                                               const tech::Technology& tech,
+                                                               const tech::BufferLibrary& lib,
+                                                               const FitOptions& opt = {});
+
+    void save(std::ostream& os) const;
+
+    double buffer_delay(int d, int l, double slew_in, double len) const override;
+    double wire_delay(int d, int l, double slew_in, double len) const override;
+    double wire_slew(int d, int l, double slew_in, double len) const override;
+    BranchTiming branch(int d, int l_left, int l_right, double slew_in, double stem,
+                        double left, double right) const override;
+
+    const FitReport& report() const { return report_; }
+
+    /// Domain the surfaces were fitted on; queries are clamped to it.
+    double max_wire_len() const { return max_len_; }
+    double min_slew() const { return min_slew_; }
+    double max_slew() const { return max_slew_; }
+
+  private:
+    FittedLibrary(const tech::Technology& tech, const tech::BufferLibrary& lib)
+        : DelayModel(tech, lib) {}
+
+    struct SingleFit {
+        la::PolySurface buffer_delay;
+        la::PolySurface wire_delay;
+        la::PolySurface wire_slew;
+    };
+    struct BranchFit {
+        la::PolySurface buffer_delay;
+        la::PolySurface delay_left;
+        la::PolySurface delay_right;
+        la::PolySurface slew_left;
+        la::PolySurface slew_right;
+    };
+
+    int pair_index(int d, int l) const;
+    void clamp_single(double& slew, double& len) const;
+
+    std::vector<SingleFit> single_;  // [d * count + l]
+    std::vector<BranchFit> branch_;
+    FitReport report_;
+    double max_len_{4500.0};
+    double max_branch_len_{3000.0};
+    double max_stem_len_{2800.0};
+    double min_slew_{5.0};
+    double max_slew_{170.0};
+};
+
+}  // namespace ctsim::delaylib
+
+#endif  // CTSIM_DELAYLIB_FITTED_LIBRARY_H

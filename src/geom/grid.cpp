@@ -1,0 +1,50 @@
+#include "geom/grid.h"
+
+#include <cmath>
+
+namespace ctsim::geom {
+
+RoutingGrid::RoutingGrid(BBox region, int nx, int ny)
+    : region_(region), nx_(std::max(1, nx)), ny_(std::max(1, ny)) {
+    // Degenerate regions (the two nodes share a coordinate) still get a
+    // usable one-cell-wide grid.
+    const double w = std::max(region_.width(), 1e-6);
+    const double h = std::max(region_.height(), 1e-6);
+    region_.xhi = region_.xlo + w;
+    region_.yhi = region_.ylo + h;
+    pitch_x_ = w / nx_;
+    pitch_y_ = h / ny_;
+}
+
+RoutingGrid RoutingGrid::for_net(Pt a, Pt b, int cells_per_dim, double margin, double max_pitch) {
+    const BBox box = BBox::of(a, b).inflated(margin);
+    int nx = cells_per_dim;
+    int ny = cells_per_dim;
+    // Dynamic growth: keep the pitch at or below max_pitch so that long
+    // nets expose enough candidate buffer locations.
+    if (max_pitch > 0.0) {
+        nx = std::max(nx, static_cast<int>(std::ceil(box.width() / max_pitch)));
+        ny = std::max(ny, static_cast<int>(std::ceil(box.height() / max_pitch)));
+    }
+    return RoutingGrid(box, nx, ny);
+}
+
+Cell RoutingGrid::cell_of(Pt p) const {
+    int ix = static_cast<int>(std::floor((p.x - region_.xlo) / pitch_x_));
+    int iy = static_cast<int>(std::floor((p.y - region_.ylo) / pitch_y_));
+    ix = std::min(std::max(ix, 0), nx_ - 1);
+    iy = std::min(std::max(iy, 0), ny_ - 1);
+    return {ix, iy};
+}
+
+std::vector<Cell> RoutingGrid::neighbours(Cell c) const {
+    std::vector<Cell> out;
+    out.reserve(4);
+    const Cell candidates[4] = {{c.ix + 1, c.iy}, {c.ix - 1, c.iy}, {c.ix, c.iy + 1},
+                                {c.ix, c.iy - 1}};
+    for (const Cell& n : candidates)
+        if (in_bounds(n)) out.push_back(n);
+    return out;
+}
+
+}  // namespace ctsim::geom

@@ -1,0 +1,78 @@
+// Routing-grid geometry for the maze router.
+//
+// The paper partitions the bounding region of the two nodes to be
+// merged into routing grids; by default R = 45 grids per dimension of
+// the bounding box, grown dynamically for long nets so that enough
+// candidate buffer locations exist on any path (Sec 4.2.2).
+#ifndef CTSIM_GEOM_GRID_H
+#define CTSIM_GEOM_GRID_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ctsim::geom {
+
+/// Integer cell coordinate on a routing grid.
+struct Cell {
+    int ix{0};
+    int iy{0};
+
+    friend constexpr bool operator==(Cell a, Cell b) { return a.ix == b.ix && a.iy == b.iy; }
+};
+
+/// A uniform routing grid covering a rectangular region. Cell (0,0) is
+/// the lower-left cell; cell centers are the candidate routing /
+/// buffer-insertion locations.
+class RoutingGrid {
+  public:
+    /// Build a grid over `region` with `nx` x `ny` cells (each >= 1).
+    RoutingGrid(BBox region, int nx, int ny);
+
+    /// Build a grid with the paper's sizing rule: `cells_per_dim`
+    /// (default R = 45) cells along each dimension of the bounding box
+    /// of `a` and `b` inflated by `margin`, but with the cell pitch
+    /// clamped to at most `max_pitch` so long nets get proportionally
+    /// more cells ("dynamically adjust the routing grid size").
+    static RoutingGrid for_net(Pt a, Pt b, int cells_per_dim, double margin, double max_pitch);
+
+    int nx() const { return nx_; }
+    int ny() const { return ny_; }
+    int cell_count() const { return nx_ * ny_; }
+    double pitch_x() const { return pitch_x_; }
+    double pitch_y() const { return pitch_y_; }
+    const BBox& region() const { return region_; }
+
+    bool in_bounds(Cell c) const { return c.ix >= 0 && c.ix < nx_ && c.iy >= 0 && c.iy < ny_; }
+
+    int index(Cell c) const { return c.iy * nx_ + c.ix; }
+    Cell cell_at_index(int idx) const { return {idx % nx_, idx / nx_}; }
+
+    /// Center of a cell in chip coordinates.
+    Pt center(Cell c) const {
+        return {region_.xlo + (c.ix + 0.5) * pitch_x_, region_.ylo + (c.iy + 0.5) * pitch_y_};
+    }
+
+    /// The cell containing `p` (clamped to the grid).
+    Cell cell_of(Pt p) const;
+
+    /// Manhattan distance between two cell centers.
+    double cell_distance(Cell a, Cell b) const {
+        return std::abs(a.ix - b.ix) * pitch_x_ + std::abs(a.iy - b.iy) * pitch_y_;
+    }
+
+    /// The 4-neighbourhood of `c`, filtered to in-bounds cells.
+    std::vector<Cell> neighbours(Cell c) const;
+
+  private:
+    BBox region_;
+    int nx_{1};
+    int ny_{1};
+    double pitch_x_{1.0};
+    double pitch_y_{1.0};
+};
+
+}  // namespace ctsim::geom
+
+#endif  // CTSIM_GEOM_GRID_H

@@ -1,0 +1,11 @@
+#include "geom/point.h"
+
+#include <ostream>
+
+namespace ctsim::geom {
+
+std::ostream& operator<<(std::ostream& os, Pt p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace ctsim::geom

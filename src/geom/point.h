@@ -1,0 +1,87 @@
+// Basic 2-D geometry in the Manhattan (L1) metric.
+//
+// All clock-tree geometry in this project is rectilinear: wire length
+// between two points equals their L1 distance, and loci of equal
+// distance are "Manhattan arcs" (segments of slope +-1). See trr.h for
+// the tilted-rectangular-region machinery built on top of this file.
+#ifndef CTSIM_GEOM_POINT_H
+#define CTSIM_GEOM_POINT_H
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+
+namespace ctsim::geom {
+
+/// A point (or displacement) in the plane. Units are micrometres
+/// throughout the project.
+struct Pt {
+    double x{0.0};
+    double y{0.0};
+
+    friend constexpr Pt operator+(Pt a, Pt b) { return {a.x + b.x, a.y + b.y}; }
+    friend constexpr Pt operator-(Pt a, Pt b) { return {a.x - b.x, a.y - b.y}; }
+    friend constexpr Pt operator*(double s, Pt p) { return {s * p.x, s * p.y}; }
+    friend constexpr Pt operator*(Pt p, double s) { return {s * p.x, s * p.y}; }
+    friend constexpr bool operator==(Pt a, Pt b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Manhattan (L1) distance; the wirelength of any shortest rectilinear
+/// route between the two points.
+inline double manhattan(Pt a, Pt b) { return std::abs(a.x - b.x) + std::abs(a.y - b.y); }
+
+/// Euclidean distance (used only for reporting, never for wirelength).
+inline double euclidean(Pt a, Pt b) { return std::hypot(a.x - b.x, a.y - b.y); }
+
+/// Linear interpolation: t = 0 gives a, t = 1 gives b.
+inline Pt lerp(Pt a, Pt b, double t) { return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)}; }
+
+/// True when the points coincide within tolerance `eps` (L1).
+inline bool almost_equal(Pt a, Pt b, double eps = 1e-9) { return manhattan(a, b) <= eps; }
+
+std::ostream& operator<<(std::ostream& os, Pt p);
+
+/// Axis-aligned bounding box.
+struct BBox {
+    double xlo{0.0};
+    double ylo{0.0};
+    double xhi{0.0};
+    double yhi{0.0};
+
+    static BBox of(Pt a, Pt b) {
+        return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x), std::max(a.y, b.y)};
+    }
+
+    double width() const { return xhi - xlo; }
+    double height() const { return yhi - ylo; }
+    /// Longer dimension (the paper's `l` in the complexity analysis).
+    double span() const { return std::max(width(), height()); }
+    double half_perimeter() const { return width() + height(); }
+    Pt center() const { return {(xlo + xhi) / 2.0, (ylo + yhi) / 2.0}; }
+
+    bool contains(Pt p) const { return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi; }
+
+    /// Grow the box by `m` on every side.
+    BBox inflated(double m) const { return {xlo - m, ylo - m, xhi + m, yhi + m}; }
+
+    /// Smallest box containing both this box and `p`.
+    void extend(Pt p) {
+        xlo = std::min(xlo, p.x);
+        ylo = std::min(ylo, p.y);
+        xhi = std::max(xhi, p.x);
+        yhi = std::max(yhi, p.y);
+    }
+};
+
+/// Bounding box of a non-empty range of points.
+template <typename Range>
+BBox bounding_box(const Range& pts) {
+    auto it = std::begin(pts);
+    BBox box{it->x, it->y, it->x, it->y};
+    for (const auto& p : pts) box.extend(p);
+    return box;
+}
+
+}  // namespace ctsim::geom
+
+#endif  // CTSIM_GEOM_POINT_H

@@ -1,0 +1,62 @@
+#include "geom/trr.h"
+
+#include <ostream>
+
+namespace ctsim::geom {
+
+std::ostream& operator<<(std::ostream& os, Pt p);
+
+namespace {
+
+/// Distance from scalar x to interval [lo, hi] (0 inside).
+double interval_dist(double x, double lo, double hi) {
+    if (x < lo) return lo - x;
+    if (x > hi) return x - hi;
+    return 0.0;
+}
+
+/// Distance between intervals [alo, ahi] and [blo, bhi] (0 when they overlap).
+double interval_gap(double alo, double ahi, double blo, double bhi) {
+    if (ahi < blo) return blo - ahi;
+    if (bhi < alo) return alo - bhi;
+    return 0.0;
+}
+
+double clamp_to(double x, double lo, double hi) { return std::min(std::max(x, lo), hi); }
+
+}  // namespace
+
+double Trr::distance_to(Pt p) const {
+    const RotPt r = to_rotated(p);
+    // L-infinity distance in rotated space equals L1 distance in the
+    // original space.
+    return std::max(interval_dist(r.u, ulo_, uhi_), interval_dist(r.v, vlo_, vhi_));
+}
+
+double Trr::distance(const Trr& a, const Trr& b) {
+    return std::max(interval_gap(a.ulo_, a.uhi_, b.ulo_, b.uhi_),
+                    interval_gap(a.vlo_, a.vhi_, b.vlo_, b.vhi_));
+}
+
+std::optional<Trr> Trr::intersect(const Trr& a, const Trr& b) {
+    Trr r{std::max(a.ulo_, b.ulo_), std::min(a.uhi_, b.uhi_), std::max(a.vlo_, b.vlo_),
+          std::min(a.vhi_, b.vhi_)};
+    // Guard against floating-point underflow when the regions touch in
+    // a single point: snap tiny negative extents to degenerate ones.
+    constexpr double eps = 1e-7;
+    if (r.uhi_ < r.ulo_ && r.ulo_ - r.uhi_ <= eps) r.uhi_ = r.ulo_ = (r.ulo_ + r.uhi_) / 2.0;
+    if (r.vhi_ < r.vlo_ && r.vlo_ - r.vhi_ <= eps) r.vhi_ = r.vlo_ = (r.vlo_ + r.vhi_) / 2.0;
+    if (!r.valid()) return std::nullopt;
+    return r;
+}
+
+Pt Trr::closest_point_to(Pt p) const {
+    const RotPt r = to_rotated(p);
+    return from_rotated({clamp_to(r.u, ulo_, uhi_), clamp_to(r.v, vlo_, vhi_)});
+}
+
+std::optional<Trr> merge_segment(const Trr& a, double ra, const Trr& b, double rb) {
+    return Trr::intersect(a.inflated(ra), b.inflated(rb));
+}
+
+}  // namespace ctsim::geom

@@ -1,0 +1,113 @@
+// Manhattan arcs and tilted rectangular regions (TRRs).
+//
+// The deferred-merge embedding (DME) baseline represents the locus of
+// feasible merge-node positions as a Manhattan arc (a segment of slope
+// +-1, possibly degenerate). A TRR is the set of points within
+// Manhattan distance r of such an arc.
+//
+// We do all TRR arithmetic in 45-degree rotated coordinates
+//     u = x + y,   v = x - y,
+// where the L1 metric becomes L-infinity, Manhattan disks become
+// squares, Manhattan arcs become axis-aligned segments and TRRs become
+// axis-aligned rectangles. Intersections and distances then reduce to
+// interval arithmetic.
+#ifndef CTSIM_GEOM_TRR_H
+#define CTSIM_GEOM_TRR_H
+
+#include <optional>
+
+#include "geom/point.h"
+
+namespace ctsim::geom {
+
+/// Point in rotated coordinates.
+struct RotPt {
+    double u{0.0};
+    double v{0.0};
+};
+
+inline RotPt to_rotated(Pt p) { return {p.x + p.y, p.x - p.y}; }
+inline Pt from_rotated(RotPt r) { return {(r.u + r.v) / 2.0, (r.u - r.v) / 2.0}; }
+
+/// A tilted rectangular region, stored as an axis-aligned rectangle in
+/// rotated coordinates. Degenerate rectangles (zero width and/or
+/// height) represent Manhattan arcs and single points.
+class Trr {
+  public:
+    Trr() = default;
+
+    /// TRR consisting of a single point.
+    static Trr point(Pt p) {
+        const RotPt r = to_rotated(p);
+        return Trr{r.u, r.u, r.v, r.v};
+    }
+
+    /// TRR that is the Manhattan arc between `a` and `b`. The endpoints
+    /// must lie on a common line of slope +-1 (within `eps`); otherwise
+    /// the bounding rotated rectangle is used, which is the standard
+    /// conservative fallback.
+    static Trr arc(Pt a, Pt b) {
+        const RotPt ra = to_rotated(a);
+        const RotPt rb = to_rotated(b);
+        return Trr{std::min(ra.u, rb.u), std::max(ra.u, rb.u), std::min(ra.v, rb.v),
+                   std::max(ra.v, rb.v)};
+    }
+
+    double ulo() const { return ulo_; }
+    double uhi() const { return uhi_; }
+    double vlo() const { return vlo_; }
+    double vhi() const { return vhi_; }
+
+    bool valid() const { return ulo_ <= uhi_ && vlo_ <= vhi_; }
+    /// True when the region is a Manhattan arc (or point): degenerate
+    /// in at least one rotated dimension.
+    bool is_arc(double eps = 1e-9) const {
+        return (uhi_ - ulo_) <= eps || (vhi_ - vlo_) <= eps;
+    }
+    bool is_point(double eps = 1e-9) const {
+        return (uhi_ - ulo_) <= eps && (vhi_ - vlo_) <= eps;
+    }
+
+    /// Minkowski sum with a Manhattan disk of radius `r` (r >= 0).
+    Trr inflated(double r) const { return Trr{ulo_ - r, uhi_ + r, vlo_ - r, vhi_ + r}; }
+
+    /// The two arc endpoints in original coordinates. For a genuine arc
+    /// these are its ends; for a non-degenerate rectangle they are two
+    /// opposite corners (diagonal of the region).
+    Pt arc_begin() const { return from_rotated({ulo_, vlo_}); }
+    Pt arc_end() const { return from_rotated({uhi_, vhi_}); }
+
+    /// Some representative point of the region (its rotated-space center).
+    Pt center() const { return from_rotated({(ulo_ + uhi_) / 2.0, (vlo_ + vhi_) / 2.0}); }
+
+    /// L1 distance from `p` to the region (0 when inside).
+    double distance_to(Pt p) const;
+
+    /// L1 distance between two regions (0 when they intersect).
+    static double distance(const Trr& a, const Trr& b);
+
+    /// Intersection; nullopt when the regions are disjoint.
+    static std::optional<Trr> intersect(const Trr& a, const Trr& b);
+
+    /// Point of the region closest (L1) to `p`; `p` itself when inside.
+    Pt closest_point_to(Pt p) const;
+
+  private:
+    Trr(double ulo, double uhi, double vlo, double vhi)
+        : ulo_(ulo), uhi_(uhi), vlo_(vlo), vhi_(vhi) {}
+
+    double ulo_{0.0};
+    double uhi_{0.0};
+    double vlo_{0.0};
+    double vhi_{0.0};
+};
+
+/// DME merge: given two child regions and balancing radii
+/// (ra + rb >= distance(a, b)), the merge segment is the intersection
+/// of the inflated regions. Returns nullopt when the radii are
+/// insufficient to meet.
+std::optional<Trr> merge_segment(const Trr& a, double ra, const Trr& b, double rb);
+
+}  // namespace ctsim::geom
+
+#endif  // CTSIM_GEOM_TRR_H

@@ -1,0 +1,114 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ctsim::la {
+
+Vector multiply(const Matrix& a, const Vector& x) {
+    assert(a.cols() == x.size());
+    Vector y(a.rows(), 0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector solve_least_squares(Matrix a, Vector b) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m < n) throw std::runtime_error("least squares: fewer rows than columns");
+    if (b.size() != m) throw std::runtime_error("least squares: rhs size mismatch");
+
+    // Overall scale, for a relative rank test: a pivot many orders of
+    // magnitude below the matrix norm means a (numerically) dependent
+    // column, and back-substitution would amplify noise into garbage.
+    double fro = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) fro += a(i, j) * a(i, j);
+    const double rank_tol = 1e-10 * std::sqrt(fro) + 1e-300;
+
+    // Householder QR: reduce A to upper-triangular in place, applying
+    // the same reflections to b.
+    for (std::size_t k = 0; k < n; ++k) {
+        double norm = 0.0;
+        for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+        norm = std::sqrt(norm);
+        if (norm < rank_tol) throw std::runtime_error("least squares: rank-deficient system");
+        if (a(k, k) > 0.0) norm = -norm;
+
+        // Householder vector v, stored in column k below the diagonal;
+        // v_k is kept separately because a(k,k) becomes R(k,k).
+        const double vk = a(k, k) - norm;
+        for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= vk;
+        const double beta = -vk / norm;  // 2 / (v^T v) scaled so v_k = 1
+        a(k, k) = norm;
+
+        for (std::size_t j = k + 1; j < n; ++j) {
+            double s = a(k, j);
+            for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+            s *= beta;
+            a(k, j) -= s;
+            for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+        }
+        double s = b[k];
+        for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * b[i];
+        s *= beta;
+        b[k] -= s;
+        for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * a(i, k);
+    }
+
+    // Back substitution on the upper-triangular factor.
+    Vector x(n, 0.0);
+    for (std::size_t kk = n; kk-- > 0;) {
+        double s = b[kk];
+        for (std::size_t j = kk + 1; j < n; ++j) s -= a(kk, j) * x[j];
+        const double diag = a(kk, kk);
+        if (std::abs(diag) < 1e-300)
+            throw std::runtime_error("least squares: rank-deficient system");
+        x[kk] = s / diag;
+    }
+    return x;
+}
+
+Vector solve_linear(Matrix a, Vector b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) throw std::runtime_error("solve_linear: shape mismatch");
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t piv = k;
+        double best = std::abs(a(perm[k], k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(a(perm[i], k));
+            if (v > best) {
+                best = v;
+                piv = i;
+            }
+        }
+        if (best < 1e-300) throw std::runtime_error("solve_linear: singular matrix");
+        std::swap(perm[k], perm[piv]);
+
+        const double d = a(perm[k], k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double f = a(perm[i], k) / d;
+            a(perm[i], k) = f;
+            for (std::size_t j = k + 1; j < n; ++j) a(perm[i], j) -= f * a(perm[k], j);
+            b[perm[i]] -= f * b[perm[k]];
+        }
+    }
+
+    Vector x(n, 0.0);
+    for (std::size_t kk = n; kk-- > 0;) {
+        double s = b[perm[kk]];
+        for (std::size_t j = kk + 1; j < n; ++j) s -= a(perm[kk], j) * x[j];
+        x[kk] = s / a(perm[kk], kk);
+    }
+    return x;
+}
+
+}  // namespace ctsim::la

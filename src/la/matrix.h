@@ -1,0 +1,57 @@
+// Minimal dense linear algebra used by the fitting code and the
+// transient simulator. Deliberately small: row-major dense matrices,
+// Householder QR least squares. No external dependencies.
+#ifndef CTSIM_LA_MATRIX_H
+#define CTSIM_LA_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ctsim::la {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const double* data() const { return data_.data(); }
+    double* data() { return data_.data(); }
+
+  private:
+    std::size_t rows_{0};
+    std::size_t cols_{0};
+    std::vector<double> data_;
+};
+
+/// y = A x (dimensions must agree).
+Vector multiply(const Matrix& a, const Vector& x);
+
+/// Solve the linear least-squares problem min ||A x - b||_2 with
+/// Householder QR. Requires rows >= cols and full column rank; a
+/// rank-deficient system throws std::runtime_error.
+Vector solve_least_squares(Matrix a, Vector b);
+
+/// Solve a square system A x = b by partial-pivoting LU.
+/// Throws std::runtime_error on (numerical) singularity.
+Vector solve_linear(Matrix a, Vector b);
+
+}  // namespace ctsim::la
+
+#endif  // CTSIM_LA_MATRIX_H

@@ -1,0 +1,130 @@
+#include "la/polyfit.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace ctsim::la {
+
+std::vector<std::vector<int>> PolySurface::monomials(int dims, int degree) {
+    std::vector<std::vector<int>> out;
+    std::vector<int> cur(dims, 0);
+    // Depth-first enumeration of exponent tuples with bounded total degree.
+    const auto recurse = [&](auto&& self, int dim, int remaining) -> void {
+        if (dim == dims) {
+            out.push_back(cur);
+            return;
+        }
+        for (int e = 0; e <= remaining; ++e) {
+            cur[dim] = e;
+            self(self, dim + 1, remaining - e);
+        }
+        cur[dim] = 0;
+    };
+    recurse(recurse, 0, degree);
+    return out;
+}
+
+PolySurface PolySurface::fit(int dims, int degree,
+                             const std::vector<std::vector<double>>& samples,
+                             const std::vector<double>& values) {
+    if (samples.size() != values.size())
+        throw std::invalid_argument("polyfit: sample/value count mismatch");
+    PolySurface s;
+    s.dims_ = dims;
+    s.degree_ = degree;
+    s.exponents_ = monomials(dims, degree);
+    if (samples.size() < s.exponents_.size())
+        throw std::invalid_argument("polyfit: not enough samples for requested degree");
+
+    // Per-dimension affine normalization to [0, 1].
+    s.offset_.assign(dims, std::numeric_limits<double>::max());
+    std::vector<double> hi(dims, std::numeric_limits<double>::lowest());
+    for (const auto& x : samples) {
+        if (static_cast<int>(x.size()) != dims)
+            throw std::invalid_argument("polyfit: sample dimension mismatch");
+        for (int d = 0; d < dims; ++d) {
+            s.offset_[d] = std::min(s.offset_[d], x[d]);
+            hi[d] = std::max(hi[d], x[d]);
+        }
+    }
+    s.scale_.assign(dims, 1.0);
+    for (int d = 0; d < dims; ++d) {
+        const double range = hi[d] - s.offset_[d];
+        s.scale_[d] = range > 1e-12 ? 1.0 / range : 1.0;
+    }
+
+    Matrix a(samples.size(), s.exponents_.size());
+    std::vector<double> norm(dims);
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+        for (int d = 0; d < dims; ++d) norm[d] = (samples[r][d] - s.offset_[d]) * s.scale_[d];
+        for (std::size_t c = 0; c < s.exponents_.size(); ++c) {
+            double term = 1.0;
+            for (int d = 0; d < dims; ++d)
+                for (int e = 0; e < s.exponents_[c][d]; ++e) term *= norm[d];
+            a(r, c) = term;
+        }
+    }
+    s.coeffs_ = solve_least_squares(std::move(a), values);
+    return s;
+}
+
+double PolySurface::evaluate(std::span<const double> x) const {
+    if (static_cast<int>(x.size()) != dims_)
+        throw std::invalid_argument("polyfit: evaluate dimension mismatch");
+    double acc = 0.0;
+    std::array<double, 8> norm{};
+    for (int d = 0; d < dims_; ++d) norm[d] = (x[d] - offset_[d]) * scale_[d];
+    for (std::size_t c = 0; c < exponents_.size(); ++c) {
+        double term = coeffs_[c];
+        for (int d = 0; d < dims_; ++d)
+            for (int e = 0; e < exponents_[c][d]; ++e) term *= norm[d];
+        acc += term;
+    }
+    return acc;
+}
+
+PolySurface::Residuals PolySurface::residuals(const std::vector<std::vector<double>>& samples,
+                                              const std::vector<double>& values) const {
+    Residuals r;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double err = std::abs(evaluate(samples[i]) - values[i]);
+        r.max_abs = std::max(r.max_abs, err);
+        sum_sq += err * err;
+    }
+    if (!samples.empty()) r.rms = std::sqrt(sum_sq / static_cast<double>(samples.size()));
+    return r;
+}
+
+void PolySurface::serialize(std::ostream& os) const {
+    os << dims_ << ' ' << degree_ << ' ' << coeffs_.size() << '\n';
+    os.precision(17);
+    for (int d = 0; d < dims_; ++d) os << offset_[d] << ' ' << scale_[d] << '\n';
+    for (std::size_t c = 0; c < coeffs_.size(); ++c) {
+        for (int d = 0; d < dims_; ++d) os << exponents_[c][d] << ' ';
+        os << coeffs_[c] << '\n';
+    }
+}
+
+PolySurface PolySurface::deserialize(std::istream& is) {
+    PolySurface s;
+    std::size_t nterms = 0;
+    is >> s.dims_ >> s.degree_ >> nterms;
+    if (!is) throw std::runtime_error("polyfit: malformed surface header");
+    s.offset_.resize(s.dims_);
+    s.scale_.resize(s.dims_);
+    for (int d = 0; d < s.dims_; ++d) is >> s.offset_[d] >> s.scale_[d];
+    s.exponents_.assign(nterms, std::vector<int>(s.dims_));
+    s.coeffs_.resize(nterms);
+    for (std::size_t c = 0; c < nterms; ++c) {
+        for (int d = 0; d < s.dims_; ++d) is >> s.exponents_[c][d];
+        is >> s.coeffs_[c];
+    }
+    if (!is) throw std::runtime_error("polyfit: malformed surface body");
+    return s;
+}
+
+}  // namespace ctsim::la

@@ -1,0 +1,75 @@
+// Multivariate polynomial surface fitting.
+//
+// The paper characterizes delay and slew with SPICE sweeps and fits
+// "3rd- or 4th-order polynomials in terms of input slew and length"
+// (surface fitting for single-wire components, hyperplane fitting for
+// branch components). This module provides exactly that: least-squares
+// fits of total-degree-bounded multivariate polynomials, with input
+// normalization for numerical conditioning.
+#ifndef CTSIM_LA_POLYFIT_H
+#define CTSIM_LA_POLYFIT_H
+
+#include <array>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ctsim::la {
+
+/// A polynomial in `dims` variables with total degree <= `degree`,
+/// fitted to samples by least squares. Inputs are affinely normalized
+/// to [0, 1] per dimension before monomial evaluation, which keeps the
+/// Vandermonde system well conditioned across the very different
+/// scales of slews (ps) and lengths (um).
+class PolySurface {
+  public:
+    PolySurface() = default;
+
+    /// Fit a surface of total degree `degree` to `samples` (each of
+    /// size `dims`) with target values `values`. Requires
+    /// samples.size() == values.size() >= number of monomials.
+    static PolySurface fit(int dims, int degree, const std::vector<std::vector<double>>& samples,
+                           const std::vector<double>& values);
+
+    double evaluate(std::span<const double> x) const;
+    double operator()(double a, double b) const {
+        const std::array<double, 2> x{a, b};
+        return evaluate(x);
+    }
+    double operator()(double a, double b, double c) const {
+        const std::array<double, 3> x{a, b, c};
+        return evaluate(x);
+    }
+
+    int dims() const { return dims_; }
+    int degree() const { return degree_; }
+    bool empty() const { return coeffs_.empty(); }
+
+    /// Maximum / root-mean-square absolute residual over a sample set.
+    struct Residuals {
+        double max_abs{0.0};
+        double rms{0.0};
+    };
+    Residuals residuals(const std::vector<std::vector<double>>& samples,
+                        const std::vector<double>& values) const;
+
+    void serialize(std::ostream& os) const;
+    static PolySurface deserialize(std::istream& is);
+
+  private:
+    /// Exponent tuples of all monomials with total degree <= degree.
+    static std::vector<std::vector<int>> monomials(int dims, int degree);
+
+    int dims_{0};
+    int degree_{0};
+    std::vector<std::vector<int>> exponents_;
+    std::vector<double> coeffs_;
+    std::vector<double> offset_;  // per-dim normalization: (x - offset) * scale
+    std::vector<double> scale_;
+};
+
+}  // namespace ctsim::la
+
+#endif  // CTSIM_LA_POLYFIT_H

@@ -1,0 +1,48 @@
+#include "moments/closed_form.h"
+
+#include <cmath>
+
+namespace ctsim::moments {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kZ90 = 1.2815515655446004;  // Phi^-1(0.9)
+}  // namespace
+
+double d2m_delay(const NodeMoments& m) {
+    if (m.m2 <= 0.0) return -m.m1;
+    return kLn2 * m.m1 * m.m1 / std::sqrt(m.m2);
+}
+
+StepResponse lognormal_step(const NodeMoments& m) {
+    StepResponse r;
+    const double mean = -m.m1;        // E[t]
+    const double mean_sq = 2.0 * m.m2;  // E[t^2]
+    if (mean <= 0.0 || mean_sq <= mean * mean) {
+        r.delay_ps = mean > 0.0 ? mean : 0.0;
+        r.slew_ps = 0.0;
+        return r;
+    }
+    const double sigma_sq = std::log(mean_sq / (mean * mean));
+    const double sigma = std::sqrt(sigma_sq);
+    const double mu = std::log(mean) - sigma_sq / 2.0;
+    r.delay_ps = std::exp(mu);  // median of the lognormal
+    r.slew_ps = std::exp(mu) * (std::exp(kZ90 * sigma) - std::exp(-kZ90 * sigma));
+    return r;
+}
+
+double peri_ramp_slew(double step_slew_ps, double input_slew_ps) {
+    return std::sqrt(step_slew_ps * step_slew_ps + input_slew_ps * input_slew_ps);
+}
+
+RampEstimate ramp_estimate(const NodeMoments& m, double input_slew_ps) {
+    RampEstimate e;
+    e.elmore_ps = -m.m1;
+    e.d2m_ps = d2m_delay(m);
+    const StepResponse step = lognormal_step(m);
+    e.lognormal_delay_ps = step.delay_ps;
+    e.ramp_slew_ps = peri_ramp_slew(step.slew_ps, input_slew_ps);
+    return e;
+}
+
+}  // namespace ctsim::moments

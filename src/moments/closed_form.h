@@ -1,0 +1,42 @@
+// Closed-form delay and slew metrics built on RC-tree moments.
+//
+// Implements the metrics the paper evaluates and finds insufficient
+// (Sec 3.1):
+//  * Elmore delay (first moment),
+//  * D2M ("delay with two moments", Alpert et al. [20]),
+//  * lognormal step-response delay/slew (the "metrics made easy"
+//    approach of [20]: match the impulse response to a lognormal),
+//  * PERI ramp extension (Kashyap et al. [21]): output slew under a
+//    ramp input of slew S_in is sqrt(S_step^2 + S_in^2).
+#ifndef CTSIM_MOMENTS_CLOSED_FORM_H
+#define CTSIM_MOMENTS_CLOSED_FORM_H
+
+#include "moments/rc_moments.h"
+
+namespace ctsim::moments {
+
+/// 50% delay estimate from two moments: D2M = ln2 * m1^2 / sqrt(m2).
+double d2m_delay(const NodeMoments& m);
+
+/// Lognormal-matched step response: 50% delay and 10-90% slew.
+struct StepResponse {
+    double delay_ps{0.0};
+    double slew_ps{0.0};
+};
+StepResponse lognormal_step(const NodeMoments& m);
+
+/// PERI: extend a step-response slew metric to a ramp input.
+double peri_ramp_slew(double step_slew_ps, double input_slew_ps);
+
+/// Convenience: per-node closed-form delay/slew for a ramp input.
+struct RampEstimate {
+    double elmore_ps{0.0};
+    double d2m_ps{0.0};
+    double lognormal_delay_ps{0.0};
+    double ramp_slew_ps{0.0};
+};
+RampEstimate ramp_estimate(const NodeMoments& m, double input_slew_ps);
+
+}  // namespace ctsim::moments
+
+#endif  // CTSIM_MOMENTS_CLOSED_FORM_H

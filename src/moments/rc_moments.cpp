@@ -1,0 +1,55 @@
+#include "moments/rc_moments.h"
+
+namespace ctsim::moments {
+
+std::vector<double> downstream_cap(const circuit::RcTree& tree) {
+    const int n = tree.size();
+    std::vector<double> cdown(n, 0.0);
+    for (int i = n - 1; i >= 0; --i) {
+        cdown[i] += tree.node(i).cap_ff;
+        if (tree.node(i).parent >= 0) cdown[tree.node(i).parent] += cdown[i];
+    }
+    return cdown;
+}
+
+std::vector<double> elmore_delay(const circuit::RcTree& tree, double driver_res_kohm) {
+    const int n = tree.size();
+    const std::vector<double> cdown = downstream_cap(tree);
+    std::vector<double> delay(n, 0.0);
+    delay[0] = driver_res_kohm * cdown[0];
+    for (int i = 1; i < n; ++i)
+        delay[i] = delay[tree.node(i).parent] + tree.node(i).res_to_parent_kohm * cdown[i];
+    return delay;
+}
+
+std::vector<NodeMoments> moments(const circuit::RcTree& tree, double driver_res_kohm) {
+    const int n = tree.size();
+    std::vector<NodeMoments> out(n);
+
+    // Iterate the moment recursion: given per-node voltage moments of
+    // order k-1, the "moment currents" are I_j = C_j * m_{k-1}(j) and
+    //   m_k(i) = m_k(parent) - R_i * (sum of I over subtree(i)),
+    // seeded by the virtual source node behind the driver resistance.
+    std::vector<double> prev(n, 1.0);  // m0 = 1 everywhere
+    std::vector<double> cur(n, 0.0);
+    std::vector<double> isub(n, 0.0);
+
+    for (int order = 1; order <= 3; ++order) {
+        for (int i = 0; i < n; ++i) isub[i] = tree.node(i).cap_ff * prev[i];
+        for (int i = n - 1; i >= 1; --i) isub[tree.node(i).parent] += isub[i];
+
+        cur[0] = -driver_res_kohm * isub[0];
+        for (int i = 1; i < n; ++i)
+            cur[i] = cur[tree.node(i).parent] - tree.node(i).res_to_parent_kohm * isub[i];
+
+        for (int i = 0; i < n; ++i) {
+            if (order == 1) out[i].m1 = cur[i];
+            else if (order == 2) out[i].m2 = cur[i];
+            else out[i].m3 = cur[i];
+        }
+        prev = cur;
+    }
+    return out;
+}
+
+}  // namespace ctsim::moments

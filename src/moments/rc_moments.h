@@ -1,0 +1,40 @@
+// Moment computation on RC trees.
+//
+// Chapter 3 of the paper argues that Elmore and even higher-moment
+// closed-form models (refs [20][21]) are insufficient for buffered
+// clock trees because they cannot capture curved input waveforms.
+// This module implements those models faithfully so the insufficiency
+// experiment is reproducible, and so the DME baseline and the
+// analytic delay model have an engine to run on.
+//
+// Conventions: H(s) = 1 + m1 s + m2 s^2 + m3 s^3 + ...  per node, so
+// the Elmore delay is -m1, and the central moments follow
+// E[t] = -m1, E[t^2] = 2 m2, E[t^3] = -6 m3.
+#ifndef CTSIM_MOMENTS_RC_MOMENTS_H
+#define CTSIM_MOMENTS_RC_MOMENTS_H
+
+#include <array>
+#include <vector>
+
+#include "circuit/rc_tree.h"
+
+namespace ctsim::moments {
+
+/// Downstream (subtree) capacitance per node [fF].
+std::vector<double> downstream_cap(const circuit::RcTree& tree);
+
+/// Elmore delay [ps] from an ideal step source behind `driver_res_kohm`
+/// to every node.
+std::vector<double> elmore_delay(const circuit::RcTree& tree, double driver_res_kohm);
+
+/// Transfer-function moments m1..m3 per node (column k holds m_{k+1}).
+struct NodeMoments {
+    double m1{0.0};
+    double m2{0.0};
+    double m3{0.0};
+};
+std::vector<NodeMoments> moments(const circuit::RcTree& tree, double driver_res_kohm);
+
+}  // namespace ctsim::moments
+
+#endif  // CTSIM_MOMENTS_RC_MOMENTS_H

@@ -1,0 +1,216 @@
+#include "sim/stage_solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ctsim::sim {
+
+namespace {
+
+constexpr double kGmin = 1e-9;  // [mA/V] regularization at nonlinear nodes
+
+/// Newton safeguards: the alpha-power device has slope kinks (cutoff,
+/// vdsat, the vds = 0 antisymmetry point) that can make a raw Newton
+/// iteration cycle on very stiff stages. Limiting the per-iteration
+/// step and keeping iterates near the rails forces convergence into
+/// the physical region, where the residual is monotone.
+constexpr double kMaxNewtonStepV = 0.25;
+
+double newton_clamp(double v, double prev, double vdd) {
+    const double step = v - prev;
+    if (step > kMaxNewtonStepV) v = prev + kMaxNewtonStepV;
+    if (step < -kMaxNewtonStepV) v = prev - kMaxNewtonStepV;
+    return std::min(std::max(v, -0.5), vdd + 0.5);
+}
+
+/// O(n) solver for the symmetric tree system (D + offdiag) x = rhs.
+/// Node 0 is the root; node i>0 couples only to parent[i] with entry
+/// -theta*g[i]. If `fixed_root` is set, x[0] is prescribed and the
+/// root row is skipped.
+class TreeSolve {
+  public:
+    TreeSolve(const circuit::RcTree& tree, double c_over_h, double theta)
+        : n_(tree.size()), parent_(n_), g_(n_), gth_(n_), base_diag_(n_) {
+        for (int i = 0; i < n_; ++i) {
+            const circuit::RcNode& nd = tree.node(i);
+            parent_[i] = nd.parent;
+            g_[i] = i == 0 ? 0.0 : 1.0 / nd.res_to_parent_kohm;
+            gth_[i] = theta * g_[i];
+            base_diag_[i] = nd.cap_ff * c_over_h;
+        }
+        for (int i = 1; i < n_; ++i) {
+            base_diag_[i] += gth_[i];
+            base_diag_[parent_[i]] += gth_[i];
+        }
+        diag_.resize(n_);
+        work_.resize(n_);
+    }
+
+    int size() const { return n_; }
+    double g(int i) const { return g_[i]; }
+    int parent(int i) const { return parent_[i]; }
+
+    /// Solve with optional extra conductance on the root diagonal
+    /// (Newton linearization) and either a free or a fixed root.
+    void solve(const std::vector<double>& rhs, double extra_root_diag, bool fixed_root,
+               double root_value, std::vector<double>& x) {
+        diag_ = base_diag_;
+        diag_[0] += extra_root_diag;
+        work_ = rhs;
+        // Leaf-to-root elimination (children have larger indices).
+        for (int i = n_ - 1; i >= 1; --i) {
+            const double f = gth_[i] / diag_[i];
+            diag_[parent_[i]] -= f * gth_[i];
+            work_[parent_[i]] += f * work_[i];
+        }
+        x[0] = fixed_root ? root_value : work_[0] / diag_[0];
+        for (int i = 1; i < n_; ++i) x[i] = (work_[i] + gth_[i] * x[parent_[i]]) / diag_[i];
+    }
+
+  private:
+    int n_;
+    std::vector<int> parent_;
+    std::vector<double> g_;
+    std::vector<double> gth_;
+    std::vector<double> base_diag_;
+    std::vector<double> diag_;
+    std::vector<double> work_;
+};
+
+}  // namespace
+
+InverterEval inverter_current(const tech::Technology& t, const tech::InverterGeom& g,
+                              double vin, double vout) {
+    const tech::MosCurrent n = tech::mos_current(t.nmos, g.nmos_width_um, vin, vout);
+    const tech::MosCurrent p =
+        tech::mos_current(t.pmos, g.pmos_width_um, t.vdd - vin, t.vdd - vout);
+    InverterEval e;
+    e.i_out_ma = p.id - n.id;
+    e.di_dvout = -p.did_dvds - n.did_dvds;
+    return e;
+}
+
+StageResult simulate_stage(const circuit::RcTree& tree, const tech::BufferType* driver,
+                           const Waveform& input, const std::vector<int>& taps,
+                           const tech::Technology& tech, const SolverOptions& opt) {
+    const int n = tree.size();
+    const double h = opt.dt_ps;
+    const double theta = opt.theta;
+    const double c_over_h = 1.0 / h;
+    TreeSolve solver(tree, c_over_h, theta);
+
+    // Initial conditions: everything low; buffer internal node high.
+    std::vector<double> v(n, 0.0), v_next(n, 0.0);
+    double vm = driver ? tech.vdd : 0.0;  // internal (between inverters) node
+    const double cm = driver ? driver->internal_cap_ff(tech) : 0.0;
+
+    const double t_start = input.t0();
+    double t = t_start;
+
+    std::vector<CrossingTracker> trackers(n, CrossingTracker(tech.vdd));
+    CrossingTracker internal_tracker(tech.vdd);
+    std::vector<std::vector<double>> tap_samples(taps.size());
+
+    std::vector<double> rhs(n), gv(n), rhs_it(n);
+
+    StageResult out;
+    out.node_timing.resize(n);
+
+    const auto record = [&](double tt) {
+        for (int i = 0; i < n; ++i) trackers[i].observe(tt, v[i]);
+        if (driver) internal_tracker.observe(tt, tech.vdd - vm);  // falling -> mirror
+        for (std::size_t k = 0; k < taps.size(); ++k) tap_samples[k].push_back(v[taps[k]]);
+    };
+    record(t);
+
+    double settled_since = -1.0;
+    const double t_hard_end = t_start + opt.max_window_ps;
+    while (t < t_hard_end) {
+        const double t_new = t + h;
+        const double vin_new = input.value_at(t_new);
+
+        double vm_new = vm;
+        if (driver) {
+            // Stage-1 inverter drives only the internal cap. Backward
+            // Euler + scalar Newton: (cm/h)(v'-v) = i1(vin', v').
+            for (int it = 0; it < opt.max_newton_iters; ++it) {
+                const InverterEval e1 = inverter_current(tech, driver->stage1, vin_new, vm_new);
+                const double f =
+                    c_over_h * cm * (vm_new - vm) - e1.i_out_ma + kGmin * vm_new;
+                const double fp = c_over_h * cm - e1.di_dvout + kGmin;
+                const double prev = vm_new;
+                vm_new = newton_clamp(vm_new - f / fp, prev, tech.vdd);
+                if (std::abs(vm_new - prev) < opt.newton_tol_v) break;
+            }
+        }
+
+        // Base RHS: (C/h) v - (1-theta) G v.
+        std::fill(gv.begin(), gv.end(), 0.0);
+        for (int i = 1; i < n; ++i) {
+            const double d = solver.g(i) * (v[i] - v[solver.parent(i)]);
+            gv[i] += d;
+            gv[solver.parent(i)] -= d;
+        }
+        for (int i = 0; i < n; ++i)
+            rhs[i] = c_over_h * tree.node(i).cap_ff * v[i] - (1.0 - theta) * gv[i];
+
+        if (!driver) {
+            // Ideal source: root voltage prescribed at t_new.
+            solver.solve(rhs, 0.0, /*fixed_root=*/true, vin_new, v_next);
+        } else {
+            // Newton around the root nonlinearity (backward Euler on
+            // the device current).
+            double v0 = v[0];
+            for (int it = 0; it < opt.max_newton_iters; ++it) {
+                const InverterEval e2 = inverter_current(tech, driver->stage2, vm_new, v0);
+                const double gnl = -e2.di_dvout + kGmin;  // >= 0
+                rhs_it = rhs;
+                rhs_it[0] += e2.i_out_ma + (-e2.di_dvout) * v0;
+                solver.solve(rhs_it, gnl, /*fixed_root=*/false, 0.0, v_next);
+                const double prev = v0;
+                v0 = newton_clamp(v_next[0], prev, tech.vdd);
+                if (std::abs(v0 - prev) < opt.newton_tol_v) break;
+            }
+            // Re-solve the whole tree consistently with the converged
+            // root linearization (cheap: one more O(n) pass).
+            {
+                const InverterEval e2 = inverter_current(tech, driver->stage2, vm_new, v0);
+                rhs_it = rhs;
+                rhs_it[0] += e2.i_out_ma + (-e2.di_dvout) * v0;
+                solver.solve(rhs_it, -e2.di_dvout + kGmin, false, 0.0, v_next);
+            }
+        }
+
+        v.swap(v_next);
+        vm = vm_new;
+        t = t_new;
+        record(t);
+
+        // Stop once the input has finished and every node has settled.
+        if (t >= input.t_end()) {
+            bool all_settled = true;
+            for (int i = 0; i < n && all_settled; ++i)
+                if (v[i] < opt.settle_v_frac * tech.vdd) all_settled = false;
+            if (all_settled) {
+                if (settled_since < 0.0) settled_since = t;
+                if (t - settled_since >= opt.tail_ps) {
+                    out.settled = true;
+                    break;
+                }
+            } else {
+                settled_since = -1.0;
+            }
+        }
+    }
+
+    for (int i = 0; i < n; ++i)
+        out.node_timing[i] = NodeTiming{trackers[i].t10(), trackers[i].t50(), trackers[i].t90()};
+    out.internal_node =
+        NodeTiming{internal_tracker.t10(), internal_tracker.t50(), internal_tracker.t90()};
+    out.tap_waveforms.reserve(taps.size());
+    for (std::size_t k = 0; k < taps.size(); ++k)
+        out.tap_waveforms.emplace_back(t_start, h, std::move(tap_samples[k]));
+    return out;
+}
+
+}  // namespace ctsim::sim

@@ -1,0 +1,85 @@
+// Sampled voltage waveforms and timing measurements.
+//
+// Waveforms are uniformly sampled on a window [t0, t0 + n*dt]; before
+// the window the value is the first sample, after it the last sample.
+// All delays are measured at the 50% supply crossing and all slews are
+// 10%-90% rise times, matching the paper's measurement convention.
+#ifndef CTSIM_SIM_WAVEFORM_H
+#define CTSIM_SIM_WAVEFORM_H
+
+#include <optional>
+#include <vector>
+
+namespace ctsim::sim {
+
+class Waveform {
+  public:
+    Waveform() = default;
+    Waveform(double t0_ps, double dt_ps, std::vector<double> samples)
+        : t0_(t0_ps), dt_(dt_ps), samples_(std::move(samples)) {}
+
+    /// Ideal ramp: 0 until t_start, then linear to vdd. `slew_ps` is
+    /// the 10-90% rise time, so the full ramp takes slew/0.8.
+    static Waveform ramp(double vdd, double slew_ps, double t_start_ps, double dt_ps);
+
+    /// Smooth S-shaped transition (raised cosine) with the same 10-90%
+    /// slew; used to contrast "curve" vs "ramp" inputs (Fig 3.2).
+    static Waveform smooth(double vdd, double slew_ps, double t_start_ps, double dt_ps);
+
+    double t0() const { return t0_; }
+    double dt() const { return dt_; }
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double t_end() const { return t0_ + dt_ * (samples_.empty() ? 0 : samples_.size() - 1); }
+    const std::vector<double>& samples() const { return samples_; }
+
+    /// Linear interpolation, clamped outside the window.
+    double value_at(double t_ps) const;
+
+    /// First upward crossing of `level` (linear interpolation);
+    /// nullopt if the waveform never reaches it.
+    std::optional<double> crossing_time(double level) const;
+
+    /// 10%-90% rise time w.r.t. vdd; nullopt if incomplete.
+    std::optional<double> slew_10_90(double vdd) const;
+    /// 50% crossing w.r.t. vdd.
+    std::optional<double> t50(double vdd) const;
+
+  private:
+    double t0_{0.0};
+    double dt_{1.0};
+    std::vector<double> samples_;
+};
+
+/// On-line single-transition crossing tracker: feeds samples one at a
+/// time and records the first upward crossings of 10/50/90% vdd.
+class CrossingTracker {
+  public:
+    explicit CrossingTracker(double vdd = 1.0) : vdd_(vdd) {}
+
+    void observe(double t_ps, double v);
+
+    bool complete() const { return t90_.has_value(); }
+    std::optional<double> t10() const { return t10_; }
+    std::optional<double> t50() const { return t50_; }
+    std::optional<double> t90() const { return t90_; }
+    std::optional<double> slew() const {
+        if (t10_ && t90_) return *t90_ - *t10_;
+        return std::nullopt;
+    }
+
+  private:
+    void check(double level, std::optional<double>& slot, double t, double v);
+
+    double vdd_{1.0};
+    double prev_t_{0.0};
+    double prev_v_{0.0};
+    bool has_prev_{false};
+    std::optional<double> t10_;
+    std::optional<double> t50_;
+    std::optional<double> t90_;
+};
+
+}  // namespace ctsim::sim
+
+#endif  // CTSIM_SIM_WAVEFORM_H

@@ -1,0 +1,50 @@
+#include "tech/buffer_lib.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctsim::tech {
+
+BufferType BufferType::make(const Technology& t, std::string name, double size) {
+    BufferType b;
+    b.name = std::move(name);
+    b.size = size;
+    const double s1 = std::max(1.0, size / 3.0);
+    b.stage1 = InverterGeom{t.unit_nmos_width_um * s1, t.unit_nmos_width_um * t.beta_ratio * s1};
+    b.stage2 = InverterGeom{t.unit_nmos_width_um * size,
+                            t.unit_nmos_width_um * t.beta_ratio * size};
+    return b;
+}
+
+double BufferType::output_res_kohm(const Technology& t) const {
+    // Average the N and P effective resistances at full gate drive:
+    // R_eff ~= (3/4) Vdd / Idsat, the classic switching-resistance
+    // approximation.
+    const MosCurrent in = mos_current(t.nmos, stage2.nmos_width_um, t.vdd, t.vdd);
+    const MosCurrent ip = mos_current(t.pmos, stage2.pmos_width_um, t.vdd, t.vdd);
+    const double rn = 0.75 * t.vdd / std::max(in.id, 1e-9);
+    const double rp = 0.75 * t.vdd / std::max(ip.id, 1e-9);
+    return 0.5 * (rn + rp);
+}
+
+BufferLibrary BufferLibrary::standard_three(const Technology& t) {
+    return of_sizes(t, {10.0, 20.0, 30.0});
+}
+
+BufferLibrary BufferLibrary::single(const Technology& t, double size) {
+    return of_sizes(t, {size});
+}
+
+BufferLibrary BufferLibrary::of_sizes(const Technology& t, const std::vector<double>& sizes) {
+    std::vector<double> sorted = sizes;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<BufferType> types;
+    types.reserve(sorted.size());
+    for (double s : sorted) {
+        const int rounded = static_cast<int>(std::lround(s));
+        types.push_back(BufferType::make(t, "BUF" + std::to_string(rounded) + "X", s));
+    }
+    return BufferLibrary(std::move(types));
+}
+
+}  // namespace ctsim::tech

@@ -1,0 +1,83 @@
+// Clock buffer library.
+//
+// Each buffer is two cascaded inverters (Sec 3.2: "Each buffer is
+// characterized as two cascaded inverters in a SPICE netlist").
+// Different drive strengths come from different transistor widths.
+// The CTS experiments use a library of three buffers; Fig 1.1 uses
+// 20X and 30X devices, so the default library is {10X, 20X, 30X}.
+#ifndef CTSIM_TECH_BUFFER_LIB_H
+#define CTSIM_TECH_BUFFER_LIB_H
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace ctsim::tech {
+
+/// One inverter stage: transistor widths derived from a drive multiple.
+struct InverterGeom {
+    double nmos_width_um{0.5};
+    double pmos_width_um{1.0};
+
+    double input_cap_ff(const Technology& t) const {
+        return nmos_width_um * t.nmos.cgate_ff_per_um + pmos_width_um * t.pmos.cgate_ff_per_um;
+    }
+    double drain_cap_ff(const Technology& t) const {
+        return nmos_width_um * t.nmos.cdrain_ff_per_um + pmos_width_um * t.pmos.cdrain_ff_per_um;
+    }
+};
+
+/// A buffer type: drive size (in 1X-inverter multiples) plus the
+/// derived two-stage geometry. The first stage is sized size/3 (at
+/// least 1X) so the buffer presents a small input load while the
+/// second stage provides the full drive.
+struct BufferType {
+    std::string name;
+    double size{1.0};
+    InverterGeom stage1;
+    InverterGeom stage2;
+
+    static BufferType make(const Technology& t, std::string name, double size);
+
+    double input_cap_ff(const Technology& t) const { return stage1.input_cap_ff(t); }
+    /// Cap at the internal node between the stages.
+    double internal_cap_ff(const Technology& t) const {
+        return stage1.drain_cap_ff(t) + stage2.input_cap_ff(t);
+    }
+    double output_cap_ff(const Technology& t) const { return stage2.drain_cap_ff(t); }
+
+    /// First-order effective switching resistance of the output stage
+    /// [kOhm]; used by analytic models and by router estimates, never
+    /// by the transient simulator (which evaluates the devices).
+    double output_res_kohm(const Technology& t) const;
+};
+
+/// An ordered set of buffer types (ascending size). Index into this
+/// vector is the "buffer type id" used throughout the CTS code.
+class BufferLibrary {
+  public:
+    BufferLibrary() = default;
+    explicit BufferLibrary(std::vector<BufferType> types) : types_(std::move(types)) {}
+
+    /// The paper's 3-buffer experimental library: {10X, 20X, 30X}.
+    static BufferLibrary standard_three(const Technology& t);
+    /// Single-type library (ablation: is sizing freedom needed?).
+    static BufferLibrary single(const Technology& t, double size);
+    /// Arbitrary size list.
+    static BufferLibrary of_sizes(const Technology& t, const std::vector<double>& sizes);
+
+    int count() const { return static_cast<int>(types_.size()); }
+    const BufferType& type(int id) const { return types_.at(id); }
+    const std::vector<BufferType>& types() const { return types_; }
+
+    int largest() const { return count() - 1; }
+    int smallest() const { return 0; }
+
+  private:
+    std::vector<BufferType> types_;
+};
+
+}  // namespace ctsim::tech
+
+#endif  // CTSIM_TECH_BUFFER_LIB_H

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "baseline/dme.h"
+#include "baseline/merge_buffered.h"
+#include "circuit/stages.h"
+#include "cts_test_util.h"
+#include "moments/rc_moments.h"
+#include "sim/netlist_sim.h"
+
+namespace ctsim::baseline {
+namespace {
+
+using testutil::analytic;
+using testutil::buflib;
+using testutil::random_sinks;
+using testutil::tek;
+
+TEST(ZeroSkewSplit, SymmetricCaseIsHalf) {
+    EXPECT_NEAR(zero_skew_split(0, 0, 10, 10, 1000, 3e-5, 0.2), 0.5, 1e-12);
+}
+
+TEST(ZeroSkewSplit, SlowerLeftPullsMergeTowardLeft) {
+    // t1 > t2: the merge point must sit closer to side 1 (x < 0.5).
+    const double x = zero_skew_split(100, 0, 10, 10, 1000, 3e-5, 0.2);
+    EXPECT_LT(x, 0.5);
+}
+
+TEST(ZeroSkewSplit, BalancesElmoreExactly) {
+    const double a = 3e-5, b = 0.2, l = 2000, c1 = 20, c2 = 45, t1 = 30, t2 = 80;
+    const double x = zero_skew_split(t1, t2, c1, c2, l, a, b);
+    const double l1 = x * l, l2 = (1 - x) * l;
+    const double d1 = a * l1 * (b * l1 / 2 + c1) + t1;
+    const double d2 = a * l2 * (b * l2 / 2 + c2) + t2;
+    EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+TEST(DetourLength, SolvesQuadraticExactly) {
+    const double a = 3e-5, b = 0.2, c = 30, gap = 55;
+    const double L = detour_length(gap, c, a, b);
+    EXPECT_NEAR(a * L * (b * L / 2 + c), gap, 1e-9);
+    EXPECT_DOUBLE_EQ(detour_length(0.0, c, a, b), 0.0);
+}
+
+double measured_elmore_skew(const cts::ClockTree& tree, int root) {
+    // Independent check via the moment engine on the flattened netlist.
+    const circuit::Netlist net = tree.to_netlist(root, tek(), buflib());
+    const auto stages = circuit::decompose(net, tek(), buflib());
+    EXPECT_EQ(stages.size(), 1u);  // unbuffered: one stage
+    const auto delays = moments::elmore_delay(stages[0].tree, 0.0);
+    double lo = 1e300, hi = -1e300;
+    for (const circuit::StageLoad& ld : stages[0].loads) {
+        if (ld.kind != circuit::StageLoad::Kind::sink) continue;
+        lo = std::min(lo, delays[ld.rc_node]);
+        hi = std::max(hi, delays[ld.rc_node]);
+    }
+    return hi - lo;
+}
+
+TEST(Dme, TwoSinksZeroElmoreSkew) {
+    const DmeResult r = dme_synthesize(
+        {{{0, 0}, 10.0, "a"}, {{3000, 1500}, 40.0, "b"}}, tek(), {});
+    r.tree.validate_subtree(r.root);
+    EXPECT_LT(measured_elmore_skew(r.tree, r.root), 0.5);
+}
+
+class DmeProperty : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(DmeProperty, ZeroElmoreSkewOnRandomInstances) {
+    const auto [count, seed] = GetParam();
+    const auto sinks = random_sinks(count, 8000.0, seed);
+    const DmeResult r = dme_synthesize(sinks, tek(), {});
+    r.tree.validate_subtree(r.root);
+    EXPECT_EQ(r.tree.sinks_below(r.root).size(), static_cast<std::size_t>(count));
+    // The pi-segment discretization and snaked embeddings leave a tiny
+    // residual; the zero-skew property must hold to sub-ps.
+    EXPECT_LT(measured_elmore_skew(r.tree, r.root), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DmeProperty,
+                         ::testing::Combine(::testing::Values(2, 3, 8, 17, 33),
+                                            ::testing::Values(1u, 2u)));
+
+TEST(Dme, DetouredMergeStaysBalanced) {
+    // One side is made artificially deep by a large sink cluster; the
+    // detour path (x outside [0,1]) must still balance.
+    std::vector<cts::SinkSpec> sinks = {
+        {{0, 0}, 200.0, "heavy"},   // big cap: slow side
+        {{300, 0}, 5.0, "light"},   // close and light: needs snaking
+        {{5000, 4000}, 10.0, "far"},
+    };
+    const DmeResult r = dme_synthesize(sinks, tek(), {});
+    EXPECT_LT(measured_elmore_skew(r.tree, r.root), 1.0);
+    // Snaking means total wirelength exceeds the Steiner-ish minimum.
+    EXPECT_GT(r.wire_length_um, 5000.0);
+}
+
+TEST(Dme, UnbufferedSlewDegradesOnBigDie) {
+    // Fig 1.1's premise: without buffers the slew explodes with size.
+    const auto sinks = random_sinks(12, 20000.0, 3);
+    const DmeResult r = dme_synthesize(sinks, tek(), {});
+    const circuit::Netlist net = r.tree.to_netlist(r.root, tek(), buflib());
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 2.0;
+    so.solver.max_window_ps = 2e5;
+    const sim::NetlistSimReport rep = sim::simulate_netlist(net, tek(), buflib(), so);
+    EXPECT_GT(rep.worst_slew_ps, 200.0);  // hopeless without buffers
+}
+
+TEST(MergeBuffered, InsertsBuffersOnlyAtMergeNodes) {
+    const auto sinks = random_sinks(24, 20000.0, 7);
+    const MergeBufferedResult r = merge_buffered_synthesize(sinks, analytic(), {});
+    r.tree.validate_subtree(r.root);
+    EXPECT_GT(r.buffer_count, 0);
+    // Every buffer must sit at a merge node position (zero-length wire
+    // to a merge child).
+    for (int i : r.tree.subtree(r.root)) {
+        const cts::TreeNode& n = r.tree.node(i);
+        if (n.kind != cts::NodeKind::buffer) continue;
+        ASSERT_EQ(n.children.size(), 1u);
+        EXPECT_EQ(r.tree.node(n.children[0]).kind, cts::NodeKind::merge);
+        EXPECT_DOUBLE_EQ(r.tree.node(n.children[0]).parent_wire_um, 0.0);
+    }
+}
+
+TEST(MergeBuffered, SlewWorseThanAggressiveOnBigDie) {
+    // The Table 5.1 comparison in miniature: on a large die the
+    // merge-node-only policy violates the slew limit while the
+    // aggressive flow holds it.
+    const auto sinks = random_sinks(20, 30000.0, 9);
+    cts::SynthesisOptions o;
+
+    const MergeBufferedResult mb = merge_buffered_synthesize(sinks, analytic(), {o, 1, -1});
+    const circuit::Netlist net_mb = mb.tree.to_netlist(mb.root, tek(), buflib(),
+                                                       buflib().largest());
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 2.0;
+    so.solver.max_window_ps = 1e5;
+    const auto rep_mb = sim::simulate_netlist(net_mb, tek(), buflib(), so);
+
+    const cts::SynthesisResult ag = cts::synthesize(sinks, analytic(), o);
+    const auto rep_ag =
+        sim::simulate_netlist(ag.netlist(tek(), buflib()), tek(), buflib(), so);
+
+    EXPECT_GT(rep_mb.worst_slew_ps, rep_ag.worst_slew_ps);
+    EXPECT_GT(rep_mb.worst_slew_ps, o.slew_limit_ps);  // the policy fails here
+}
+
+}  // namespace
+}  // namespace ctsim::baseline

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_io/parsers.h"
+#include "bench_io/synthetic.h"
+
+namespace ctsim::bench_io {
+namespace {
+
+TEST(GsrcParser, ParsesNameXYCapLines) {
+    std::istringstream in(R"(# GSRC BST sink list
+NumSinks : 3
+s0 100.0 200.0 12.5
+s1 300 400 8
+s2 -50 0 30.0
+)");
+    const auto sinks = parse_gsrc_bst(in);
+    ASSERT_EQ(sinks.size(), 3u);
+    EXPECT_EQ(sinks[0].name, "s0");
+    EXPECT_DOUBLE_EQ(sinks[0].pos.x, 100.0);
+    EXPECT_DOUBLE_EQ(sinks[2].cap_ff, 30.0);
+}
+
+TEST(GsrcParser, ParsesBareTriples) {
+    std::istringstream in("10 20 5\n30 40 6\n");
+    const auto sinks = parse_gsrc_bst(in);
+    ASSERT_EQ(sinks.size(), 2u);
+    EXPECT_EQ(sinks[1].name, "s1");
+}
+
+TEST(GsrcParser, RejectsMalformedLine) {
+    std::istringstream in("s0 10 20\n");
+    EXPECT_THROW(parse_gsrc_bst(in), std::runtime_error);
+}
+
+TEST(GsrcParser, RejectsNonPositiveCap) {
+    std::istringstream in("s0 10 20 0\n");
+    EXPECT_THROW(parse_gsrc_bst(in), std::runtime_error);
+}
+
+TEST(GsrcParser, RejectsEmptyFile) {
+    std::istringstream in("# nothing here\n");
+    EXPECT_THROW(parse_gsrc_bst(in), std::runtime_error);
+}
+
+TEST(IspdParser, ParsesSinkSection) {
+    std::istringstream in(R"(num sink 2
+1 1000 2000 35
+2 3000 4000 20
+num wire 1
+0.1 0.2
+)");
+    const auto sinks = parse_ispd09(in);
+    ASSERT_EQ(sinks.size(), 2u);
+    EXPECT_EQ(sinks[0].name, "1");
+    EXPECT_DOUBLE_EQ(sinks[1].pos.y, 4000.0);
+}
+
+TEST(IspdParser, RejectsTruncatedSection) {
+    std::istringstream in("num sink 3\n1 0 0 5\n");
+    EXPECT_THROW(parse_ispd09(in), std::runtime_error);
+}
+
+TEST(Synthetic, SuiteMatchesPublishedSinkCounts) {
+    // Table 5.1 / 5.2 instance sizes.
+    const int gsrc_counts[] = {267, 598, 862, 1903, 3101};
+    const auto& gsrc = gsrc_suite();
+    ASSERT_EQ(gsrc.size(), 5u);
+    for (std::size_t i = 0; i < gsrc.size(); ++i)
+        EXPECT_EQ(gsrc[i].sink_count, gsrc_counts[i]) << gsrc[i].name;
+
+    const int ispd_counts[] = {121, 117, 117, 91, 273, 190, 330};
+    const auto& ispd = ispd_suite();
+    ASSERT_EQ(ispd.size(), 7u);
+    for (std::size_t i = 0; i < ispd.size(); ++i)
+        EXPECT_EQ(ispd[i].sink_count, ispd_counts[i]) << ispd[i].name;
+}
+
+TEST(Synthetic, GenerationIsDeterministic) {
+    const auto spec = *find_benchmark("r1");
+    const auto a = generate(spec);
+    const auto b = generate(spec);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), 267u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].pos.x, b[i].pos.x);
+        EXPECT_DOUBLE_EQ(a[i].cap_ff, b[i].cap_ff);
+    }
+}
+
+TEST(Synthetic, SinksWithinDieAndCapBand) {
+    for (const auto& spec : full_suite()) {
+        const auto sinks = generate(spec);
+        EXPECT_EQ(static_cast<int>(sinks.size()), spec.sink_count);
+        for (const auto& s : sinks) {
+            EXPECT_GE(s.pos.x, 0.0);
+            EXPECT_LE(s.pos.x, spec.die_span_um);
+            EXPECT_GE(s.cap_ff, spec.cap_min_ff);
+            EXPECT_LE(s.cap_ff, spec.cap_max_ff);
+        }
+    }
+}
+
+TEST(Synthetic, FindBenchmarkLookupWorks) {
+    EXPECT_TRUE(find_benchmark("fnb1").has_value());
+    EXPECT_FALSE(find_benchmark("nope").has_value());
+}
+
+}  // namespace
+}  // namespace ctsim::bench_io

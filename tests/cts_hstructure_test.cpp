@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::random_sinks;
+
+SynthesisOptions opts(HStructureMode mode) {
+    SynthesisOptions o;
+    o.hstructure = mode;
+    return o;
+}
+
+/// Build two level-1 merges by hand and run the check on them.
+struct Fixture {
+    ClockTree tree;
+    std::unordered_map<int, MergeRecord> records;
+    std::unordered_map<int, RootTiming> timing;
+    int u{-1}, v{-1};
+
+    explicit Fixture(const std::array<geom::Pt, 4>& pts) {
+        const auto& m = analytic();
+        SynthesisOptions o;
+        std::array<int, 4> s{};
+        for (int i = 0; i < 4; ++i) {
+            s[i] = tree.add_sink(pts[i], 12.0, "s" + std::to_string(i));
+            timing[s[i]] = {0, 0};
+        }
+        const MergeRecord m1 = merge_route(tree, s[0], s[1], {0, 0}, {0, 0}, m, o);
+        const MergeRecord m2 = merge_route(tree, s[2], s[3], {0, 0}, {0, 0}, m, o);
+        records[m1.merge_node] = m1;
+        records[m2.merge_node] = m2;
+        timing[m1.merge_node] = m1.timing;
+        timing[m2.merge_node] = m2.timing;
+        u = m1.merge_node;
+        v = m2.merge_node;
+    }
+};
+
+TEST(HStructure, OffModeIsIdentity) {
+    Fixture f({geom::Pt{0, 0}, {2000, 0}, {0, 2000}, {2000, 2000}});
+    HStructureStats stats;
+    const auto [nu, nv] =
+        hstructure_check(f.tree, f.u, f.v, {&f.records, &f.timing}, analytic(),
+                         opts(HStructureMode::off), stats);
+    EXPECT_EQ(nu, f.u);
+    EXPECT_EQ(nv, f.v);
+    EXPECT_EQ(stats.checks, 0);
+}
+
+TEST(HStructure, KeepingOriginalRestoresTreeExactly) {
+    // A well-clustered pairing ((A,B) close, (C,D) close) should win
+    // against the crossed pairings; the tree must come back intact.
+    Fixture f({geom::Pt{0, 0}, {500, 0}, {8000, 8000}, {8500, 8000}});
+    HStructureStats stats;
+    const auto [nu, nv] =
+        hstructure_check(f.tree, f.u, f.v, {&f.records, &f.timing}, analytic(),
+                         opts(HStructureMode::correct), stats);
+    EXPECT_EQ(stats.checks, 1);
+    EXPECT_EQ(nu, f.u);
+    EXPECT_EQ(nv, f.v);
+    f.tree.validate_subtree(nu);
+    f.tree.validate_subtree(nv);
+    EXPECT_EQ(f.tree.sinks_below(nu).size(), 2u);
+    EXPECT_EQ(f.tree.sinks_below(nv).size(), 2u);
+}
+
+TEST(HStructure, CorrectionRepairsInterleavedPairing) {
+    // Interleaved clusters: (A,B) spans the die diagonally, as does
+    // (C,D); re-pairing by proximity should flip.
+    Fixture f({geom::Pt{0, 0}, {8000, 8000}, {400, 100}, {8200, 7900}});
+    HStructureStats stats;
+    const auto [nu, nv] =
+        hstructure_check(f.tree, f.u, f.v, {&f.records, &f.timing}, analytic(),
+                         opts(HStructureMode::correct), stats);
+    EXPECT_EQ(stats.flips, 1);
+    EXPECT_TRUE(nu != f.u || nv != f.v);
+    f.tree.validate_subtree(nu);
+    f.tree.validate_subtree(nv);
+    // All four sinks remain reachable, two per new subtree.
+    EXPECT_EQ(f.tree.sinks_below(nu).size(), 2u);
+    EXPECT_EQ(f.tree.sinks_below(nv).size(), 2u);
+    // Records/timing updated for the new roots.
+    EXPECT_TRUE(f.records.count(nu));
+    EXPECT_TRUE(f.timing.count(nv));
+}
+
+TEST(HStructure, ReestimateFlipsOnCostAndRebuilds) {
+    Fixture f({geom::Pt{0, 0}, {8000, 8000}, {400, 100}, {8200, 7900}});
+    HStructureStats stats;
+    const auto [nu, nv] =
+        hstructure_check(f.tree, f.u, f.v, {&f.records, &f.timing}, analytic(),
+                         opts(HStructureMode::reestimate), stats);
+    EXPECT_EQ(stats.flips, 1);
+    f.tree.validate_subtree(nu);
+    f.tree.validate_subtree(nv);
+}
+
+TEST(HStructure, FullFlowCorrectionNeverLosesSinks) {
+    for (unsigned seed : {1u, 2u, 3u, 4u}) {
+        const auto sinks = random_sinks(24, 7000.0, seed);
+        SynthesisOptions o;
+        o.hstructure = HStructureMode::correct;
+        const SynthesisResult res = synthesize(sinks, analytic(), o);
+        res.tree.validate_subtree(res.root);
+        EXPECT_EQ(res.tree.sinks_below(res.root).size(), 24u) << "seed " << seed;
+        EXPECT_GT(res.hstats.checks, 0);
+    }
+}
+
+class MergeResidualProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, unsigned>> {};
+
+TEST_P(MergeResidualProperty, BinarySearchBalancesArbitraryPairs) {
+    const auto [dx, imbalance, seed] = GetParam();
+    const auto& m = analytic();
+    ClockTree t;
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> jitter(-400.0, 400.0);
+    const int a0 = t.add_sink({jitter(rng), jitter(rng)}, 12.0);
+    const int b = t.add_sink({dx + jitter(rng), jitter(rng)}, 22.0);
+
+    int ra = a0;
+    RootTiming ta{0, 0};
+    if (imbalance > 0.0) {
+        const SnakeResult sr = snake_delay(t, a0, imbalance, m, SynthesisOptions{});
+        ra = sr.new_root;
+        ta = subtree_timing(t, ra, m, 80.0, true);
+    }
+    const MergeRecord rec = merge_route(t, ra, b, ta, {0, 0}, m, SynthesisOptions{});
+    t.validate_subtree(rec.merge_node);
+    // The engine-driven rebalance must land within a couple of ps.
+    EXPECT_LT(rec.residual_diff_ps, 2.5)
+        << "dx=" << dx << " imb=" << imbalance << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MergeResidualProperty,
+                         ::testing::Combine(::testing::Values(300.0, 3000.0, 12000.0),
+                                            ::testing::Values(0.0, 60.0, 250.0),
+                                            ::testing::Values(1u, 2u)));
+
+}  // namespace
+}  // namespace ctsim::cts

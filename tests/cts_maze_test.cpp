@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::buflib;
+
+SynthesisOptions opts() {
+    SynthesisOptions o;
+    o.slew_limit_ps = 100.0;
+    o.slew_target_ps = 80.0;
+    return o;
+}
+
+TEST(MazeHelpers, MaxFeasibleRunMonotoneInTarget) {
+    const auto& m = analytic();
+    const double a = max_feasible_run(m, 2, 0, 80.0, 60.0, 1e9);
+    const double b = max_feasible_run(m, 2, 0, 80.0, 90.0, 1e9);
+    EXPECT_GT(b, a);
+    EXPECT_GT(a, 100.0);  // a sensible reach
+    // Verify the returned run really honors the target.
+    EXPECT_LE(m.wire_slew(2, 0, 80.0, a), 60.0 + 0.5);
+}
+
+TEST(MazeHelpers, ChooseBufferHonorsTarget) {
+    const auto& m = analytic();
+    const auto t = choose_buffer(m, 0, 1500.0, 80.0, 80.0, true);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_LE(m.wire_slew(*t, 0, 80.0, 1500.0), 80.0);
+    // Impossible run: no type works.
+    const double far = max_feasible_run(m, buflib().largest(), 0, 80.0, 80.0, 1e9);
+    EXPECT_FALSE(choose_buffer(m, 0, far * 1.5, 80.0, 80.0, true).has_value());
+}
+
+TEST(MazeHelpers, IntelligentSizingPicksClosestUnderTarget) {
+    const auto& m = analytic();
+    const double run = 1200.0;
+    const auto smart = choose_buffer(m, 0, run, 80.0, 80.0, true);
+    const auto naive = choose_buffer(m, 0, run, 80.0, 80.0, false);
+    ASSERT_TRUE(smart && naive);
+    const double gap_smart = 80.0 - m.wire_slew(*smart, 0, 80.0, run);
+    const double gap_naive = 80.0 - m.wire_slew(*naive, 0, 80.0, run);
+    EXPECT_LE(gap_smart, gap_naive + 1e-9);
+}
+
+RouteEndpoint sink_ep(geom::Pt pos, const delaylib::DelayModel& m) {
+    RouteEndpoint ep;
+    ep.pos = pos;
+    ep.load_type = m.load_type_for_cap(12.0);
+    return ep;
+}
+
+TEST(Maze, SymmetricSinksMeetInTheMiddle) {
+    const auto& m = analytic();
+    const MazeResult r = maze_route(sink_ep({0, 0}, m), sink_ep({4000, 0}, m), m, opts());
+    EXPECT_NEAR(r.d1_ps, r.d2_ps, 6.0);
+    EXPECT_GT(r.meet.x, 1000.0);
+    EXPECT_LT(r.meet.x, 3000.0);
+}
+
+TEST(Maze, LongNetGetsBuffers) {
+    const auto& m = analytic();
+    const MazeResult r = maze_route(sink_ep({0, 0}, m), sink_ep({9000, 2000}, m), m, opts());
+    EXPECT_GE(r.side1.buffers.size() + r.side2.buffers.size(), 1u);
+    // Tail runs stay within the feasible run of the largest buffer.
+    const double lim = max_feasible_run(m, buflib().largest(), 0, 80.0, 80.0, 1e9);
+    EXPECT_LE(r.side1.tail_um, lim * 1.05);
+    EXPECT_LE(r.side2.tail_um, lim * 1.05);
+}
+
+TEST(Maze, ImbalancedSubtreesPullMeetTowardSlowerSide) {
+    const auto& m = analytic();
+    RouteEndpoint slow = sink_ep({0, 0}, m);
+    slow.delay_max_ps = 150.0;
+    slow.delay_min_ps = 150.0;
+    RouteEndpoint fast = sink_ep({5000, 0}, m);
+    const MazeResult r = maze_route(slow, fast, m, opts());
+    // The meet must sit closer to the slow endpoint. The residual
+    // difference is bounded by what the distance can balance (the
+    // binary-search stage, not the maze, does the fine balancing).
+    EXPECT_LT(geom::manhattan(r.meet, slow.pos), geom::manhattan(r.meet, fast.pos));
+    EXPECT_NEAR(r.d1_ps, r.d2_ps, 25.0);
+}
+
+TEST(Maze, ForcedRootBufferAppearsFirst) {
+    const auto& m = analytic();
+    RouteEndpoint a = sink_ep({0, 0}, m);
+    a.force_root_buffer = true;
+    const MazeResult r = maze_route(a, sink_ep({2500, 500}, m), m, opts());
+    ASSERT_FALSE(r.side1.buffers.empty());
+    EXPECT_EQ(r.side1.buffers.front().trace_index, 0);
+    EXPECT_TRUE(geom::almost_equal(r.side1.buffers.front().pos, {0, 0}));
+}
+
+TEST(Maze, CoincidentEndpointsDegenerateGracefully) {
+    const auto& m = analytic();
+    const MazeResult r = maze_route(sink_ep({100, 100}, m), sink_ep({100, 100}, m), m, opts());
+    EXPECT_LT(geom::manhattan(r.meet, {100, 100}), 50.0);
+    EXPECT_LE(r.side1.tail_um, 10.0);
+}
+
+TEST(Maze, TraceEndsAtMeet) {
+    const auto& m = analytic();
+    const MazeResult r = maze_route(sink_ep({0, 0}, m), sink_ep({3000, 1500}, m), m, opts());
+    EXPECT_TRUE(geom::almost_equal(r.side1.trace.back(), r.meet));
+    EXPECT_TRUE(geom::almost_equal(r.side2.trace.back(), r.meet));
+    EXPECT_TRUE(geom::almost_equal(r.side1.trace.front(), {0, 0}));
+    EXPECT_TRUE(geom::almost_equal(r.side2.trace.front(), {3000, 1500}));
+}
+
+TEST(Balance, EstimatePathDelayMonotone) {
+    const auto& m = analytic();
+    const SynthesisOptions o = opts();
+    double prev = 0.0;
+    for (double d : {500.0, 2000.0, 6000.0, 12000.0}) {
+        const double e = estimate_path_delay(m, d, o);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+    EXPECT_DOUBLE_EQ(estimate_path_delay(m, 0.0, o), 0.0);
+}
+
+TEST(Balance, SnakeAddsRequestedDelay) {
+    const auto& m = analytic();
+    ClockTree t;
+    const int s = t.add_sink({500, 500}, 12.0);
+    const SnakeResult r = snake_delay(t, s, 120.0, m, opts());
+    EXPECT_GE(r.added_delay_ps, 120.0);
+    EXPECT_LT(r.added_delay_ps, 240.0);  // no gross overshoot
+    EXPECT_GE(r.stages, 1);
+    EXPECT_EQ(t.node(r.new_root).kind, NodeKind::buffer);
+    // The snaked chain must be a valid subtree and preserve the sink.
+    t.validate_subtree(r.new_root);
+    EXPECT_EQ(t.sinks_below(r.new_root).size(), 1u);
+    // Model timing of the new root reflects the added delay.
+    const RootTiming rt = subtree_timing(t, r.new_root, m, 80.0);
+    EXPECT_NEAR(rt.max_ps, r.added_delay_ps, 30.0);
+}
+
+TEST(Balance, SnakeZeroBurnIsNoOp) {
+    const auto& m = analytic();
+    ClockTree t;
+    const int s = t.add_sink({0, 0}, 12.0);
+    const SnakeResult r = snake_delay(t, s, 0.0, m, opts());
+    EXPECT_EQ(r.new_root, s);
+    EXPECT_EQ(r.stages, 0);
+}
+
+}  // namespace
+}  // namespace ctsim::cts

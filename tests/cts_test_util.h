@@ -1,0 +1,59 @@
+// Shared fixtures for the CTS tests: one technology, one buffer
+// library, a fast analytic model for logic tests and a disk-cached
+// quick fitted library for full-pipeline tests.
+#ifndef CTSIM_TESTS_CTS_TEST_UTIL_H
+#define CTSIM_TESTS_CTS_TEST_UTIL_H
+
+#include <memory>
+#include <random>
+
+#include "cts/synthesizer.h"
+#include "delaylib/analytic_model.h"
+#include "delaylib/fitted_library.h"
+
+namespace ctsim::testutil {
+
+inline const tech::Technology& tek() {
+    static tech::Technology t = tech::Technology::ptm45_aggressive();
+    return t;
+}
+
+inline const tech::BufferLibrary& buflib() {
+    static tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tek());
+    return lib;
+}
+
+inline const delaylib::AnalyticModel& analytic() {
+    static delaylib::AnalyticModel m(tek(), buflib());
+    return m;
+}
+
+/// Quick-grid fitted library, cached on disk next to the test binaries
+/// so only the first run of the suite pays the characterization cost.
+inline const delaylib::FittedLibrary& fitted_quick() {
+    static std::unique_ptr<delaylib::FittedLibrary> lib = [] {
+        delaylib::FitOptions opt;
+        opt.grid = delaylib::SweepGrid::quick();
+        opt.single_degree = 3;
+        opt.branch_degree = 2;
+        return delaylib::FittedLibrary::load_or_characterize("ctsim_delaylib_quick.cache",
+                                                             tek(), buflib(), opt);
+    }();
+    return *lib;
+}
+
+/// Deterministic random sinks on a die of `span_um`.
+inline std::vector<cts::SinkSpec> random_sinks(int count, double span_um, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> coord(0.0, span_um);
+    std::uniform_real_distribution<double> cap(8.0, 35.0);
+    std::vector<cts::SinkSpec> sinks;
+    sinks.reserve(count);
+    for (int i = 0; i < count; ++i)
+        sinks.push_back({{coord(rng), coord(rng)}, cap(rng), "s" + std::to_string(i)});
+    return sinks;
+}
+
+}  // namespace ctsim::testutil
+
+#endif  // CTSIM_TESTS_CTS_TEST_UTIL_H

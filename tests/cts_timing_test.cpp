@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::buflib;
+using testutil::tek;
+
+TEST(Timing, SingleWireComponentMatchesModel) {
+    ClockTree t;
+    const int b = t.add_buffer({0, 0}, 1);
+    const int s = t.add_sink({1000, 0}, 12.0);
+    t.connect(b, s, 1000.0);
+
+    TimingOptions opt;
+    opt.input_slew_ps = 60.0;
+    const TimingReport rep = analyze(t, b, analytic(), opt);
+    ASSERT_EQ(rep.sinks.size(), 1u);
+
+    const int lt = analytic().load_type_for_cap(12.0);
+    const double expect = analytic().buffer_delay(1, lt, 60.0, 1000.0) +
+                          analytic().wire_delay(1, lt, 60.0, 1000.0);
+    EXPECT_NEAR(rep.sinks[0].arrival_ps, expect, 1e-9);
+    EXPECT_NEAR(rep.sinks[0].slew_ps, analytic().wire_slew(1, lt, 60.0, 1000.0), 1e-9);
+}
+
+TEST(Timing, ChainThroughSteinerAccumulatesLength) {
+    ClockTree t;
+    const int b = t.add_buffer({0, 0}, 1);
+    const int st = t.add_steiner({500, 0});
+    const int s = t.add_sink({500, 400}, 12.0);
+    t.connect(b, st, 500.0);
+    t.connect(st, s, 400.0);
+
+    const TimingReport rep = analyze(t, b, analytic(), {});
+    const int lt = analytic().load_type_for_cap(12.0);
+    const double expect = analytic().buffer_delay(1, lt, 80.0, 900.0) +
+                          analytic().wire_delay(1, lt, 80.0, 900.0);
+    EXPECT_NEAR(rep.sinks[0].arrival_ps, expect, 1e-9);
+}
+
+TEST(Timing, BranchComponentUsesBranchSurfaces) {
+    ClockTree t;
+    const int b = t.add_buffer({0, 0}, 2);
+    const int m = t.add_steiner({600, 0});
+    const int s1 = t.add_sink({600, -800}, 10.0);
+    const int s2 = t.add_sink({600, 1200}, 30.0);
+    t.connect(b, m, 600.0);
+    t.connect(m, s1, 800.0);
+    t.connect(m, s2, 1200.0);
+
+    TimingOptions opt;
+    opt.input_slew_ps = 70.0;
+    const TimingReport rep = analyze(t, b, analytic(), opt);
+    ASSERT_EQ(rep.sinks.size(), 2u);
+
+    const int lt1 = analytic().load_type_for_cap(10.0);
+    const int lt2 = analytic().load_type_for_cap(30.0);
+    const auto bt = analytic().branch(2, lt1, lt2, 70.0, 600.0, 800.0, 1200.0);
+    // Sink order follows child order.
+    EXPECT_NEAR(rep.sinks[0].arrival_ps, bt.buffer_delay_ps + bt.delay_left_ps, 1e-9);
+    EXPECT_NEAR(rep.sinks[1].arrival_ps, bt.buffer_delay_ps + bt.delay_right_ps, 1e-9);
+    EXPECT_GT(rep.skew_ps(), 0.0);
+}
+
+TEST(Timing, CascadedBuffersPropagateSlew) {
+    ClockTree t;
+    const int b1 = t.add_buffer({0, 0}, 0);
+    const int b2 = t.add_buffer({2000, 0}, 0);
+    const int s = t.add_sink({4000, 0}, 12.0);
+    t.connect(b1, b2, 2000.0);
+    t.connect(b2, s, 2000.0);
+
+    TimingOptions prop;
+    prop.input_slew_ps = 40.0;
+    prop.propagate_slews = true;
+    TimingOptions pess = prop;
+    pess.propagate_slews = false;
+
+    const TimingReport rp = analyze(t, b1, analytic(), prop);
+    const TimingReport rq = analyze(t, b1, analytic(), pess);
+    // The propagated slew at b2's input differs from the assumed 40 ps,
+    // so the two modes must disagree on arrival.
+    EXPECT_GT(std::abs(rp.sinks[0].arrival_ps - rq.sinks[0].arrival_ps), 0.5);
+    EXPECT_GT(rp.worst_slew_ps, 0.0);
+}
+
+TEST(Timing, UnbufferedRootUsesVirtualDriverWithoutBufferDelay) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s1 = t.add_sink({-500, 0}, 12.0);
+    const int s2 = t.add_sink({500, 0}, 12.0);
+    t.connect(m, s1, 500.0);
+    t.connect(m, s2, 500.0);
+
+    const TimingReport rep = analyze(t, m, analytic(), {});
+    const int lt = analytic().load_type_for_cap(12.0);
+    const int vd = buflib().largest();
+    const auto bt = analytic().branch(vd, lt, lt, 80.0, 0.0, 500.0, 500.0);
+    EXPECT_NEAR(rep.sinks[0].arrival_ps, bt.delay_left_ps, 1e-9);  // no buffer delay
+    EXPECT_NEAR(rep.skew_ps(), 0.0, 1e-9);
+}
+
+TEST(Timing, SinkRootIsTrivial) {
+    ClockTree t;
+    const int s = t.add_sink({3, 4}, 9.0);
+    const TimingReport rep = analyze(t, s, analytic(), {});
+    EXPECT_EQ(rep.sinks.size(), 1u);
+    EXPECT_DOUBLE_EQ(rep.max_arrival_ps, 0.0);
+}
+
+TEST(Timing, SubtreeTimingIsMinMaxOfArrivals) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s1 = t.add_sink({-200, 0}, 12.0);
+    const int s2 = t.add_sink({1500, 0}, 12.0);
+    t.connect(m, s1, 200.0);
+    t.connect(m, s2, 1500.0);
+
+    const RootTiming rt = subtree_timing(t, m, analytic(), 80.0);
+    EXPECT_GT(rt.max_ps, rt.min_ps);
+    const TimingReport rep = analyze(t, m, analytic(),
+                                     {-1, 80.0, /*propagate_slews=*/false});
+    EXPECT_NEAR(rt.max_ps, rep.max_arrival_ps, 1e-9);
+    EXPECT_NEAR(rt.min_ps, rep.min_arrival_ps, 1e-9);
+}
+
+// Nested branch (three sinks under one driver, no buffers): the
+// fallback approximation must produce finite, ordered timings.
+TEST(Timing, NestedBranchFallbackIsFiniteAndOrdered) {
+    ClockTree t;
+    const int b = t.add_buffer({0, 0}, 2);
+    const int m1 = t.add_steiner({400, 0});
+    const int m2 = t.add_steiner({400, 300});
+    const int s1 = t.add_sink({800, 0}, 12.0);
+    const int s2 = t.add_sink({400, 700}, 12.0);
+    const int s3 = t.add_sink({0, 300}, 12.0);
+    t.connect(b, m1, 400.0);
+    t.connect(m1, s1, 400.0);
+    t.connect(m1, m2, 300.0);
+    t.connect(m2, s2, 400.0);
+    t.connect(m2, s3, 400.0);
+
+    const TimingReport rep = analyze(t, b, analytic(), {});
+    ASSERT_EQ(rep.sinks.size(), 3u);
+    for (const SinkTiming& st : rep.sinks) {
+        EXPECT_TRUE(std::isfinite(st.arrival_ps));
+        EXPECT_GT(st.arrival_ps, 0.0);
+        EXPECT_GT(st.slew_ps, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace ctsim::cts

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::buflib;
+using testutil::tek;
+
+TEST(ClockTree, ConnectDisconnectRoundTrip) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s = t.add_sink({100, 0}, 10.0);
+    t.connect(m, s, 100.0);
+    EXPECT_EQ(t.node(s).parent, m);
+    EXPECT_EQ(t.node(m).children.size(), 1u);
+    t.disconnect(s);
+    EXPECT_EQ(t.node(s).parent, -1);
+    EXPECT_TRUE(t.node(m).children.empty());
+    // Reconnect works after disconnect.
+    t.connect(m, s, 120.0);
+    EXPECT_DOUBLE_EQ(t.node(s).parent_wire_um, 120.0);
+}
+
+TEST(ClockTree, RejectsDoubleParent) {
+    ClockTree t;
+    const int a = t.add_merge({0, 0});
+    const int b = t.add_merge({10, 0});
+    const int s = t.add_sink({5, 0}, 10.0);
+    t.connect(a, s, 5.0);
+    EXPECT_THROW(t.connect(b, s, 5.0), std::runtime_error);
+}
+
+TEST(ClockTree, SinksBelowFindsAllAndOnlySubtree) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int a = t.add_sink({-50, 0}, 10.0);
+    const int b = t.add_sink({50, 0}, 10.0);
+    const int other = t.add_sink({999, 999}, 10.0);
+    t.connect(m, a, 50.0);
+    t.connect(m, b, 50.0);
+    (void)other;
+    const auto s = t.sinks_below(m);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(t.sinks().size(), 3u);
+}
+
+TEST(ClockTree, ValidateCatchesShortWire) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s = t.add_sink({100, 0}, 10.0);
+    t.connect(m, s, 10.0);  // wire shorter than Manhattan distance
+    EXPECT_THROW(t.validate_subtree(m), std::runtime_error);
+}
+
+TEST(ClockTree, ValidateAllowsSnakedWire) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s = t.add_sink({100, 0}, 10.0);
+    t.connect(m, s, 500.0);  // snaked: longer than Manhattan is fine
+    EXPECT_NO_THROW(t.validate_subtree(m));
+}
+
+TEST(ClockTree, ValidateCatchesBufferFanout) {
+    ClockTree t;
+    const int b = t.add_buffer({0, 0}, 0);
+    const int s1 = t.add_sink({10, 0}, 5.0);
+    const int s2 = t.add_sink({0, 10}, 5.0);
+    t.connect(b, s1, 10.0);
+    t.connect(b, s2, 10.0);
+    EXPECT_THROW(t.validate_subtree(b), std::runtime_error);
+}
+
+TEST(ClockTree, RootInputCapStopsAtBuffers) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int buf = t.add_buffer({100, 0}, 1);
+    const int s1 = t.add_sink({-100, 0}, 20.0);
+    const int s2 = t.add_sink({200, 0}, 50.0);  // hidden behind the buffer
+    t.connect(m, buf, 100.0);
+    t.connect(m, s1, 100.0);
+    t.connect(buf, s2, 100.0);
+
+    const double cap = t.root_input_cap_ff(m, tek(), buflib());
+    const double expect = tek().wire_cap_ff(200.0)  // two visible wires
+                          + 20.0                     // s1
+                          + buflib().type(1).input_cap_ff(tek());
+    EXPECT_NEAR(cap, expect, 1e-9);
+}
+
+TEST(ClockTree, NetlistConversionRoundTrip) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int buf = t.add_buffer({200, 0}, 2);
+    const int s1 = t.add_sink({-300, 0}, 15.0, "a");
+    const int s2 = t.add_sink({600, 0}, 25.0, "b");
+    t.connect(m, s1, 300.0);
+    t.connect(m, buf, 200.0);
+    t.connect(buf, s2, 400.0);
+
+    const circuit::Netlist net = t.to_netlist(m, tek(), buflib(), /*source_buffer=*/2);
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_EQ(net.sink_nodes().size(), 2u);
+    EXPECT_EQ(net.buffers().size(), 2u);  // tree buffer + source buffer
+    EXPECT_NEAR(net.total_wire_length_um(), 900.0, 1e-9);
+}
+
+TEST(ClockTree, NetlistWithoutSourceBuffer) {
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s1 = t.add_sink({-100, 0}, 15.0);
+    const int s2 = t.add_sink({100, 0}, 15.0);
+    t.connect(m, s1, 100.0);
+    t.connect(m, s2, 100.0);
+    const circuit::Netlist net = t.to_netlist(m, tek(), buflib());
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_TRUE(net.buffers().empty());
+}
+
+}  // namespace
+}  // namespace ctsim::cts

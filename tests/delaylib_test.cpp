@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "delaylib/analytic_model.h"
+#include "delaylib/characterizer.h"
+#include "delaylib/fitted_library.h"
+
+namespace ctsim::delaylib {
+namespace {
+
+const tech::Technology& tek() {
+    static tech::Technology t = tech::Technology::ptm45_aggressive();
+    return t;
+}
+const tech::BufferLibrary& buflib() {
+    static tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tek());
+    return lib;
+}
+
+/// One shared quick-grid library for the whole test binary: the
+/// characterization sweep dominates the runtime.
+const FittedLibrary& quick_lib() {
+    static std::unique_ptr<FittedLibrary> lib = [] {
+        FitOptions opt;
+        opt.grid = SweepGrid::quick();
+        opt.single_degree = 3;  // quick grid has 4 distinct slew points
+        opt.branch_degree = 2;
+        return FittedLibrary::characterize(tek(), buflib(), opt);
+    }();
+    return *lib;
+}
+
+TEST(Characterizer, InputSlewGrowsWithInputWire) {
+    Characterizer ch(tek(), buflib());
+    sim::SolverOptions opt;
+    opt.dt_ps = 1.0;
+    const auto a = ch.measure_single(1, 1, 1.0, 500.0, opt);
+    const auto b = ch.measure_single(1, 1, 3000.0, 500.0, opt);
+    EXPECT_GT(b.input_slew_ps, a.input_slew_ps + 10.0);
+}
+
+TEST(Characterizer, WireSlewGrowsWithLength) {
+    Characterizer ch(tek(), buflib());
+    sim::SolverOptions opt;
+    opt.dt_ps = 1.0;
+    const auto a = ch.measure_single(2, 0, 800.0, 500.0, opt);
+    const auto b = ch.measure_single(2, 0, 800.0, 3500.0, opt);
+    EXPECT_GT(b.wire_slew_ps, 2.0 * a.wire_slew_ps);
+    EXPECT_GT(b.wire_delay_ps, a.wire_delay_ps);
+}
+
+TEST(Characterizer, BufferDelayDependsOnInputSlew) {
+    // The paper's core motivation (Sec 3.1): intrinsic delay shifts by
+    // several ps across the slew range.
+    Characterizer ch(tek(), buflib());
+    sim::SolverOptions opt;
+    opt.dt_ps = 1.0;
+    const auto fast = ch.measure_single(0, 0, 1.0, 500.0, opt);
+    const auto slow = ch.measure_single(0, 0, 3500.0, 500.0, opt);
+    EXPECT_GT(slow.buffer_delay_ps - fast.buffer_delay_ps, 5.0);
+}
+
+TEST(Characterizer, BranchDelaysCoupleAcrossBranches) {
+    Characterizer ch(tek(), buflib());
+    sim::SolverOptions opt;
+    opt.dt_ps = 1.0;
+    // Growing the right branch adds load that slows the left branch too
+    // (resistive shielding notwithstanding).
+    const auto a = ch.measure_branch(2, 0, 500.0, 400.0, 1000.0, 200.0, opt);
+    const auto b = ch.measure_branch(2, 0, 500.0, 400.0, 1000.0, 2800.0, opt);
+    EXPECT_GT(b.delay_left_ps, a.delay_left_ps);
+}
+
+TEST(FittedLibrary, FitResidualsAreSmall) {
+    const FittedLibrary& lib = quick_lib();
+    // Quick grid + low degree: still expect every fit within a few ps
+    // of the simulated samples.
+    for (const auto& e : lib.report().entries) {
+        EXPECT_LT(e.residuals.max_abs, 6.0) << e.quantity << " d=" << e.driver
+                                            << " l=" << e.load;
+    }
+}
+
+TEST(FittedLibrary, MatchesFreshSimulation) {
+    const FittedLibrary& lib = quick_lib();
+    Characterizer ch(tek(), buflib());
+    sim::SolverOptions opt;
+    opt.dt_ps = 0.5;
+    // Off-grid point.
+    const auto truth = ch.measure_single(1, 0, 1000.0, 1600.0, opt);
+    const double bd = lib.buffer_delay(1, 0, truth.input_slew_ps, 1600.0);
+    const double wd = lib.wire_delay(1, 0, truth.input_slew_ps, 1600.0);
+    const double ws = lib.wire_slew(1, 0, truth.input_slew_ps, 1600.0);
+    EXPECT_NEAR(bd, truth.buffer_delay_ps, 4.0);
+    EXPECT_NEAR(wd, truth.wire_delay_ps, 4.0);
+    EXPECT_NEAR(ws, truth.wire_slew_ps, 5.0);
+}
+
+TEST(FittedLibrary, SlewMonotoneInLength) {
+    const FittedLibrary& lib = quick_lib();
+    double prev = 0.0;
+    for (double len = 200.0; len <= 4400.0; len += 600.0) {
+        const double s = lib.wire_slew(2, 0, 60.0, len);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(FittedLibrary, QueriesClampOutsideDomain) {
+    const FittedLibrary& lib = quick_lib();
+    EXPECT_NO_THROW(lib.wire_slew(0, 0, 1000.0, 99999.0));
+    EXPECT_GT(lib.wire_slew(0, 0, 1000.0, 99999.0), 0.0);
+    EXPECT_THROW(lib.wire_slew(7, 0, 50.0, 100.0), std::out_of_range);
+}
+
+TEST(FittedLibrary, SerializationRoundTrip) {
+    const FittedLibrary& lib = quick_lib();
+    std::stringstream ss;
+    lib.save(ss);
+    const auto reloaded = FittedLibrary::load(ss, tek(), buflib());
+    for (double slew : {20.0, 60.0, 120.0})
+        for (double len : {100.0, 1200.0, 3000.0}) {
+            EXPECT_NEAR(reloaded->wire_slew(1, 1, slew, len), lib.wire_slew(1, 1, slew, len),
+                        1e-9);
+            EXPECT_NEAR(reloaded->buffer_delay(1, 1, slew, len),
+                        lib.buffer_delay(1, 1, slew, len), 1e-9);
+        }
+    const auto bt0 = lib.branch(1, 0, 2, 50.0, 500.0, 1000.0, 1500.0);
+    const auto bt1 = reloaded->branch(1, 0, 2, 50.0, 500.0, 1000.0, 1500.0);
+    EXPECT_NEAR(bt0.delay_left_ps, bt1.delay_left_ps, 1e-9);
+    EXPECT_NEAR(bt0.slew_right_ps, bt1.slew_right_ps, 1e-9);
+}
+
+TEST(FittedLibrary, LoadRejectsWrongBufferCount) {
+    const FittedLibrary& lib = quick_lib();
+    std::stringstream ss;
+    lib.save(ss);
+    const tech::BufferLibrary single = tech::BufferLibrary::single(tek(), 10.0);
+    EXPECT_THROW(FittedLibrary::load(ss, tek(), single), std::runtime_error);
+}
+
+TEST(AnalyticModel, QualitativeShapeMatchesLibrary) {
+    const AnalyticModel am(tek(), buflib());
+    const FittedLibrary& fl = quick_lib();
+    // Same qualitative ordering: longer wire -> more delay, more slew.
+    EXPECT_GT(am.wire_delay(1, 0, 60, 3000), am.wire_delay(1, 0, 60, 500));
+    EXPECT_GT(am.wire_slew(1, 0, 60, 3000), am.wire_slew(1, 0, 60, 500));
+    // And the two models agree within a factor ~2 on slew mid-domain.
+    const double a = am.wire_slew(1, 0, 60, 2000);
+    const double f = fl.wire_slew(1, 0, 60, 2000);
+    EXPECT_LT(a, 2.5 * f);
+    EXPECT_GT(a, f / 2.5);
+}
+
+TEST(DelayModel, LoadTypeForCapPicksNearest) {
+    const AnalyticModel am(tek(), buflib());
+    const double c0 = am.buffer_input_cap(0);
+    const double c2 = am.buffer_input_cap(2);
+    EXPECT_EQ(am.load_type_for_cap(c0), 0);
+    EXPECT_EQ(am.load_type_for_cap(c2 + 100.0), 2);
+}
+
+TEST(DelayModel, StageCombinesBufferAndWire) {
+    const FittedLibrary& lib = quick_lib();
+    const auto st = lib.stage(1, 1, 60.0, 1500.0);
+    EXPECT_NEAR(st.delay_ps,
+                lib.buffer_delay(1, 1, 60, 1500) + lib.wire_delay(1, 1, 60, 1500), 1e-12);
+    EXPECT_NEAR(st.end_slew_ps, lib.wire_slew(1, 1, 60, 1500), 1e-12);
+}
+
+}  // namespace
+}  // namespace ctsim::delaylib

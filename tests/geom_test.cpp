@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "geom/trr.h"
+
+namespace ctsim::geom {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+    EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+    EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+    EXPECT_DOUBLE_EQ(manhattan({2, 2}, {2, 2}), 0.0);
+}
+
+TEST(Point, LerpEndpoints) {
+    const Pt a{1, 2}, b{5, 10};
+    EXPECT_TRUE(almost_equal(lerp(a, b, 0.0), a));
+    EXPECT_TRUE(almost_equal(lerp(a, b, 1.0), b));
+    EXPECT_TRUE(almost_equal(lerp(a, b, 0.5), Pt{3, 6}));
+}
+
+TEST(BBox, SpanAndContains) {
+    const BBox box = BBox::of({0, 0}, {10, 4});
+    EXPECT_DOUBLE_EQ(box.span(), 10.0);
+    EXPECT_DOUBLE_EQ(box.half_perimeter(), 14.0);
+    EXPECT_TRUE(box.contains({5, 2}));
+    EXPECT_FALSE(box.contains({11, 2}));
+    EXPECT_TRUE(box.inflated(1.5).contains({11, 2}));
+}
+
+TEST(Rotation, RoundTrip) {
+    const Pt p{3.5, -1.25};
+    EXPECT_TRUE(almost_equal(from_rotated(to_rotated(p)), p));
+}
+
+TEST(Rotation, ManhattanBecomesChebyshev) {
+    const Pt a{1, 2}, b{4, 7};
+    const RotPt ra = to_rotated(a), rb = to_rotated(b);
+    const double cheb = std::max(std::abs(ra.u - rb.u), std::abs(ra.v - rb.v));
+    EXPECT_DOUBLE_EQ(cheb, manhattan(a, b));
+}
+
+TEST(Trr, PointDistance) {
+    const Trr t = Trr::point({0, 0});
+    EXPECT_DOUBLE_EQ(t.distance_to({3, 4}), 7.0);
+    EXPECT_DOUBLE_EQ(t.distance_to({0, 0}), 0.0);
+}
+
+TEST(Trr, InflatedContainsDisk) {
+    const Trr disk = Trr::point({5, 5}).inflated(3.0);
+    EXPECT_DOUBLE_EQ(disk.distance_to({5, 8}), 0.0);   // on boundary
+    EXPECT_DOUBLE_EQ(disk.distance_to({7, 6}), 0.0);   // inside (L1 = 3)
+    EXPECT_DOUBLE_EQ(disk.distance_to({9, 5}), 1.0);   // outside by 1
+}
+
+TEST(Trr, MergeSegmentOfTwoPoints) {
+    // Two points 10 apart (L1); radii 4 and 6 -> merge segment exists
+    // and every point of it is exactly at those distances.
+    const Trr a = Trr::point({0, 0});
+    const Trr b = Trr::point({6, 4});
+    const auto seg = merge_segment(a, 4.0, b, 6.0);
+    ASSERT_TRUE(seg.has_value());
+    EXPECT_TRUE(seg->is_arc(1e-6));
+    for (const Pt p : {seg->arc_begin(), seg->arc_end(), seg->center()}) {
+        EXPECT_NEAR(manhattan(p, {0, 0}), 4.0, 1e-9);
+        EXPECT_NEAR(manhattan(p, {6, 4}), 6.0, 1e-9);
+    }
+}
+
+TEST(Trr, MergeSegmentInfeasibleWhenRadiiTooSmall) {
+    const Trr a = Trr::point({0, 0});
+    const Trr b = Trr::point({10, 0});
+    EXPECT_FALSE(merge_segment(a, 3.0, b, 3.0).has_value());
+}
+
+TEST(Trr, DistanceBetweenRegions) {
+    const Trr a = Trr::point({0, 0}).inflated(2.0);
+    const Trr b = Trr::point({10, 0}).inflated(3.0);
+    EXPECT_DOUBLE_EQ(Trr::distance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(Trr::distance(a, a), 0.0);
+}
+
+TEST(Trr, ClosestPointIsWithinRegionAndOptimal) {
+    const Trr t = Trr::arc({0, 0}, {4, 4});  // slope +1 arc? (0,0)-(4,4) is u-varying
+    const Pt q{10, 0};
+    const Pt c = t.closest_point_to(q);
+    EXPECT_NEAR(t.distance_to(c), 0.0, 1e-9);
+    EXPECT_NEAR(manhattan(c, q), t.distance_to(q), 1e-9);
+}
+
+TEST(Grid, CellMappingRoundTrip) {
+    const RoutingGrid g(BBox{0, 0, 90, 45}, 45, 45);
+    const Cell c{10, 20};
+    EXPECT_EQ(g.cell_of(g.center(c)).ix, c.ix);
+    EXPECT_EQ(g.cell_of(g.center(c)).iy, c.iy);
+    EXPECT_EQ(g.cell_at_index(g.index(c)).ix, c.ix);
+    EXPECT_EQ(g.cell_at_index(g.index(c)).iy, c.iy);
+}
+
+TEST(Grid, DynamicGrowthKeepsPitchBounded) {
+    const auto g = RoutingGrid::for_net({0, 0}, {20000, 100}, 45, 0.0, 200.0);
+    EXPECT_GE(g.nx(), 100);  // 20000/200
+    EXPECT_LE(g.pitch_x(), 200.0 + 1e-9);
+}
+
+TEST(Grid, NeighboursRespectBounds) {
+    const RoutingGrid g(BBox{0, 0, 10, 10}, 3, 3);
+    EXPECT_EQ(g.neighbours({0, 0}).size(), 2u);
+    EXPECT_EQ(g.neighbours({1, 1}).size(), 4u);
+    EXPECT_EQ(g.neighbours({2, 1}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ctsim::geom

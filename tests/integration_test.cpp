@@ -1,0 +1,94 @@
+// Cross-module integration: the library-based timing engine and the
+// transient simulator must agree on the trees the synthesizer builds,
+// and the whole pipeline must stay deterministic.
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+#include "sim/netlist_sim.h"
+
+namespace ctsim {
+namespace {
+
+using testutil::buflib;
+using testutil::fitted_quick;
+using testutil::random_sinks;
+using testutil::tek;
+
+TEST(Integration, TimingEngineTracksSimulationOnSynthesizedTree) {
+    const auto sinks = random_sinks(16, 9000.0, 21);
+    cts::SynthesisOptions opt;
+    const cts::SynthesisResult res = cts::synthesize(sinks, fitted_quick(), opt);
+
+    // Engine view (propagated slews, source-driver input slew).
+    cts::TimingOptions to;
+    to.input_slew_ps = 40.0;
+    to.propagate_slews = true;
+    to.virtual_driver = res.source_buffer;
+    const cts::TimingReport engine = cts::analyze(res.tree, res.root, fitted_quick(), to);
+
+    // Simulator view.
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 1.0;
+    const sim::NetlistSimReport simrep =
+        sim::simulate_netlist(res.netlist(tek(), buflib()), tek(), buflib(), so);
+    ASSERT_TRUE(simrep.complete);
+
+    // Latency within ~15% and skew within a small absolute band: the
+    // engine is a model, not the simulator, but it must track it.
+    const double sim_lat = simrep.max_latency_ps;
+    EXPECT_NEAR(engine.max_arrival_ps, sim_lat, 0.15 * sim_lat + 20.0);
+    EXPECT_LT(std::abs(engine.skew_ps() - simrep.skew_ps), 25.0);
+    // And neither view may violate the slew limit.
+    EXPECT_LE(engine.worst_slew_ps, opt.slew_limit_ps);
+    EXPECT_LE(simrep.worst_slew_ps, opt.slew_limit_ps);
+}
+
+TEST(Integration, SynthesisIsDeterministic) {
+    const auto sinks = random_sinks(20, 6000.0, 33);
+    cts::SynthesisOptions opt;
+    const auto a = cts::synthesize(sinks, fitted_quick(), opt);
+    const auto b = cts::synthesize(sinks, fitted_quick(), opt);
+    EXPECT_EQ(a.tree.size(), b.tree.size());
+    EXPECT_EQ(a.buffer_count, b.buffer_count);
+    EXPECT_DOUBLE_EQ(a.wire_length_um, b.wire_length_um);
+    EXPECT_DOUBLE_EQ(a.root_timing.max_ps, b.root_timing.max_ps);
+}
+
+TEST(Integration, SlewLimitKnobActuallyBinds) {
+    // Tighter slew target -> more buffers, lower simulated worst slew.
+    const auto sinks = random_sinks(12, 10000.0, 5);
+    cts::SynthesisOptions tight;
+    tight.slew_limit_ps = 60.0;
+    tight.slew_target_ps = 48.0;
+    cts::SynthesisOptions loose;
+    loose.slew_limit_ps = 140.0;
+    loose.slew_target_ps = 115.0;
+
+    const auto rt = cts::synthesize(sinks, fitted_quick(), tight);
+    const auto rl = cts::synthesize(sinks, fitted_quick(), loose);
+    EXPECT_GT(rt.buffer_count, rl.buffer_count);
+
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 1.0;
+    const auto srt = sim::simulate_netlist(rt.netlist(tek(), buflib()), tek(), buflib(), so);
+    const auto srl = sim::simulate_netlist(rl.netlist(tek(), buflib()), tek(), buflib(), so);
+    EXPECT_LE(srt.worst_slew_ps, 60.0);
+    EXPECT_LE(srl.worst_slew_ps, 140.0);
+    EXPECT_LT(srt.worst_slew_ps, srl.worst_slew_ps);
+}
+
+TEST(Integration, SinkCapsInfluenceArrivalOrdering) {
+    // Same coordinates, one heavy sink: the synthesizer must still
+    // balance within tolerance (caps are part of the load model).
+    std::vector<cts::SinkSpec> sinks = random_sinks(8, 5000.0, 8);
+    sinks[3].cap_ff = 60.0;  // heavy outlier
+    const auto res = cts::synthesize(sinks, fitted_quick(), {});
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 1.0;
+    const auto rep = sim::simulate_netlist(res.netlist(tek(), buflib()), tek(), buflib(), so);
+    ASSERT_TRUE(rep.complete);
+    EXPECT_LT(rep.skew_ps, 0.15 * rep.max_latency_ps + 20.0);
+}
+
+}  // namespace
+}  // namespace ctsim

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "la/matrix.h"
+#include "la/polyfit.h"
+
+namespace ctsim::la {
+namespace {
+
+TEST(Matrix, MultiplyIdentityLike) {
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 2) = 2;
+    a(1, 1) = 3;
+    const Vector y = multiply(a, {1, 2, 3});
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(LeastSquares, ExactSquareSystem) {
+    Matrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    const Vector x = solve_least_squares(a, {5, 10});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversLine) {
+    // y = 3 + 2t sampled with symmetric noise that cancels exactly.
+    Matrix a(4, 2);
+    Vector b(4);
+    const double ts[4] = {0, 1, 2, 3};
+    const double noise[4] = {0.5, -0.5, -0.5, 0.5};
+    for (int i = 0; i < 4; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = ts[i];
+        b[i] = 3.0 + 2.0 * ts[i] + noise[i];
+    }
+    const Vector x = solve_least_squares(a, b);
+    // The noise pattern is orthogonal to both basis columns, so least
+    // squares recovers the underlying line exactly.
+    EXPECT_NEAR(x[0], 3.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LeastSquares, ThrowsOnRankDeficiency) {
+    Matrix a(3, 2);
+    for (int i = 0; i < 3; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = 2.0;  // second column = 2x first
+    }
+    a(0, 1) = 2.0;
+    EXPECT_THROW(solve_least_squares(a, {1, 2, 3}), std::runtime_error);
+}
+
+TEST(SolveLinear, PivotingHandlesZeroDiagonal) {
+    Matrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    const Vector x = solve_linear(a, {2, 3});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(PolySurface, RecoversExactPolynomial2D) {
+    // f(x, y) = 1 + 2x + 3y + 0.5xy - x^2
+    const auto f = [](double x, double y) { return 1 + 2 * x + 3 * y + 0.5 * x * y - x * x; };
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 6; ++i)
+        for (int j = 0; j <= 6; ++j) {
+            const double x = 10.0 + 5.0 * i, y = 100.0 + 40.0 * j;  // wild scales
+            xs.push_back({x, y});
+            ys.push_back(f(x, y));
+        }
+    const PolySurface s = PolySurface::fit(2, 3, xs, ys);
+    const auto res = s.residuals(xs, ys);
+    EXPECT_LT(res.max_abs, 1e-6);
+    EXPECT_NEAR(s(12.0, 111.0), f(12.0, 111.0), 1e-6);
+}
+
+TEST(PolySurface, RecoversExactPolynomial3D) {
+    const auto f = [](double x, double y, double z) { return 2 + x + y * z - 0.1 * z * z; };
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 4; ++i)
+        for (int j = 0; j <= 4; ++j)
+            for (int k = 0; k <= 4; ++k) {
+                xs.push_back({1.0 * i, 2.0 * j, 3.0 * k});
+                ys.push_back(f(1.0 * i, 2.0 * j, 3.0 * k));
+            }
+    const PolySurface s = PolySurface::fit(3, 2, xs, ys);
+    EXPECT_LT(s.residuals(xs, ys).max_abs, 1e-8);
+}
+
+TEST(PolySurface, SerializationRoundTrip) {
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(0.0, 100.0);
+    for (int i = 0; i < 50; ++i) {
+        const double x = dist(rng), y = dist(rng);
+        xs.push_back({x, y});
+        ys.push_back(3.0 * x - 0.02 * x * y + 5.0);
+    }
+    const PolySurface s = PolySurface::fit(2, 2, xs, ys);
+    std::stringstream ss;
+    s.serialize(ss);
+    const PolySurface t = PolySurface::deserialize(ss);
+    for (int i = 0; i < 10; ++i) {
+        const double x = dist(rng), y = dist(rng);
+        EXPECT_NEAR(s(x, y), t(x, y), 1e-9);
+    }
+}
+
+TEST(PolySurface, ThrowsWithTooFewSamples) {
+    std::vector<std::vector<double>> xs = {{0, 0}, {1, 1}};
+    std::vector<double> ys = {0, 1};
+    EXPECT_THROW(PolySurface::fit(2, 3, xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ctsim::la

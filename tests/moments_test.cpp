@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/rc_tree.h"
+#include "moments/closed_form.h"
+#include "moments/rc_moments.h"
+#include "sim/stage_solver.h"
+#include "tech/technology.h"
+
+namespace ctsim::moments {
+namespace {
+
+TEST(DownstreamCap, AccumulatesSubtrees) {
+    circuit::RcTree t;
+    const int a = t.add_node(0, 1.0, 10.0);
+    t.add_node(a, 1.0, 5.0);
+    t.add_node(a, 1.0, 7.0);
+    const auto cd = downstream_cap(t);
+    EXPECT_DOUBLE_EQ(cd[0], 22.0);
+    EXPECT_DOUBLE_EQ(cd[a], 22.0);
+}
+
+TEST(Elmore, SinglePoleExact) {
+    circuit::RcTree t;
+    t.add_node(0, 2.0, 50.0);  // R = 2 kOhm, C = 50 fF -> tau = 100 ps
+    const auto d = elmore_delay(t, 0.0);
+    EXPECT_NEAR(d[1], 100.0, 1e-9);
+}
+
+TEST(Elmore, DriverResistanceSeesTotalCap) {
+    circuit::RcTree t;
+    const int a = t.add_node(0, 1.0, 10.0);
+    t.add_node(a, 1.0, 20.0);
+    const auto d = elmore_delay(t, 3.0);
+    EXPECT_NEAR(d[0], 3.0 * 30.0, 1e-9);
+}
+
+TEST(Moments, FirstMomentIsNegativeElmore) {
+    circuit::RcTree t;
+    const int a = t.add_node(0, 0.5, 30.0);
+    const int b = t.add_node(a, 0.7, 12.0);
+    t.add_node(a, 0.3, 40.0);
+    const auto d = elmore_delay(t, 1.5);
+    const auto m = moments(t, 1.5);
+    for (int i : {0, a, b}) EXPECT_NEAR(m[i].m1, -d[i], 1e-9);
+}
+
+TEST(Moments, SinglePoleHigherMoments) {
+    // H(s) = 1/(1 + s tau): m1 = -tau, m2 = tau^2, m3 = -tau^3.
+    circuit::RcTree t;
+    t.add_node(0, 1.0, 100.0);  // tau = 100
+    const auto m = moments(t, 0.0);
+    EXPECT_NEAR(m[1].m1, -100.0, 1e-9);
+    EXPECT_NEAR(m[1].m2, 1e4, 1e-6);
+    EXPECT_NEAR(m[1].m3, -1e6, 1e-3);
+}
+
+TEST(ClosedForm, D2MExactOnSinglePole) {
+    circuit::RcTree t;
+    t.add_node(0, 1.0, 100.0);
+    const auto m = moments(t, 0.0);
+    EXPECT_NEAR(d2m_delay(m[1]), 100.0 * std::log(2.0), 1e-6);
+}
+
+TEST(ClosedForm, LognormalDelayNearSinglePoleTruth) {
+    circuit::RcTree t;
+    t.add_node(0, 1.0, 100.0);
+    const auto m = moments(t, 0.0);
+    const StepResponse s = lognormal_step(m[1]);
+    EXPECT_NEAR(s.delay_ps, 69.3, 5.0);  // truth: tau ln2
+    EXPECT_NEAR(s.slew_ps, 100.0 * std::log(9.0), 60.0);  // order of magnitude
+    EXPECT_GT(s.slew_ps, 0.0);
+}
+
+TEST(ClosedForm, PeriReducesToStepAtZeroInputSlew) {
+    EXPECT_DOUBLE_EQ(peri_ramp_slew(80.0, 0.0), 80.0);
+    EXPECT_NEAR(peri_ramp_slew(60.0, 80.0), 100.0, 1e-9);
+}
+
+// Chapter-3 shape check: on a distributed line, Elmore overestimates
+// the simulated delay while D2M comes closer.
+TEST(ClosedForm, ElmoreOverestimatesVsSimulation) {
+    const tech::Technology tk = tech::Technology::ptm45_aggressive();
+    circuit::RcTree t;
+    t.add_wire(0, 3000.0, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, 60);
+    const auto m = moments(t, 0.0);
+    const int far = t.size() - 1;
+
+    const sim::Waveform in = sim::Waveform::ramp(1.0, 1.0, 5.0, 0.1);
+    sim::SolverOptions opt;
+    opt.dt_ps = 0.1;
+    const sim::StageResult r = sim::simulate_stage(t, nullptr, in, {}, tk, opt);
+    const double sim_delay = *r.node_timing[far].t50 - (5.0 + 1.0 / 0.8 / 2.0);
+
+    const double elmore = -m[far].m1;
+    const double d2m = d2m_delay(m[far]);
+    EXPECT_GT(elmore, sim_delay);                       // known overestimate
+    EXPECT_LT(std::abs(d2m - sim_delay), elmore - sim_delay);  // D2M closer
+}
+
+}  // namespace
+}  // namespace ctsim::moments

@@ -1,0 +1,146 @@
+// Property tests on the transient solver: the numerics the whole
+// reproduction rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/rc_tree.h"
+#include "sim/stage_solver.h"
+#include "tech/buffer_lib.h"
+
+namespace ctsim::sim {
+namespace {
+
+const tech::Technology& tek() {
+    static tech::Technology t = tech::Technology::ptm45_aggressive();
+    return t;
+}
+const tech::BufferLibrary& buflib() {
+    static tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tek());
+    return lib;
+}
+
+struct StageCase {
+    double wire_um;
+    int driver_type;
+    double input_slew;
+};
+
+class SolverConvergence : public ::testing::TestWithParam<StageCase> {};
+
+// Halving the timestep must not move the measured delay or slew by
+// more than a fraction of a picosecond: the integration is converged
+// at the default step.
+TEST_P(SolverConvergence, TimestepInvariance) {
+    const StageCase c = GetParam();
+    const tech::Technology& tk = tek();
+    circuit::RcTree t;
+    const int end = t.add_wire(0, c.wire_um, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um,
+                               std::max(1, static_cast<int>(c.wire_um / 50.0)));
+    t.add_cap(end, buflib().type(0).input_cap_ff(tk));
+
+    double t50[2], slew[2];
+    int i = 0;
+    for (double dt : {0.5, 0.25}) {
+        const Waveform in = Waveform::ramp(tk.vdd, c.input_slew, 10.0, dt);
+        SolverOptions opt;
+        opt.dt_ps = dt;
+        const StageResult r =
+            simulate_stage(t, &buflib().type(c.driver_type), in, {}, tk, opt);
+        ASSERT_TRUE(r.settled);
+        t50[i] = *r.node_timing[end].t50;
+        slew[i] = *r.node_timing[end].slew();
+        ++i;
+    }
+    EXPECT_NEAR(t50[0], t50[1], 0.6) << "wire " << c.wire_um;
+    EXPECT_NEAR(slew[0], slew[1], 1.0) << "wire " << c.wire_um;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverConvergence,
+                         ::testing::Values(StageCase{100.0, 0, 30.0},
+                                           StageCase{100.0, 2, 120.0},
+                                           StageCase{1500.0, 1, 60.0},
+                                           StageCase{3500.0, 2, 80.0},
+                                           StageCase{4500.0, 0, 150.0}));
+
+// Voltages must stay essentially rail-bounded: the integrator may not
+// overshoot the supply by more than device-physics-plausible amounts.
+TEST(SolverStability, NoRunawayOnStiffStage) {
+    const tech::Technology& tk = tek();
+    circuit::RcTree t;
+    // Deliberately stiff: a tiny wire behind the largest driver.
+    const int end = t.add_wire(0, 5.0, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, 1);
+    t.add_cap(end, 1.0);
+    const Waveform in = Waveform::ramp(tk.vdd, 10.0, 5.0, 1.0);
+    SolverOptions opt;
+    opt.dt_ps = 1.0;
+    const StageResult r = simulate_stage(t, &buflib().type(2), in, {0, end}, tk, opt);
+    ASSERT_TRUE(r.settled);
+    for (const Waveform& w : r.tap_waveforms)
+        for (double v : w.samples()) {
+            EXPECT_GT(v, -0.1);
+            EXPECT_LT(v, tk.vdd + 0.1);
+        }
+}
+
+// Delay ordering along a wire: nodes farther from the driver cross
+// later and with worse slew (monotone degradation).
+TEST(SolverPhysics, MonotoneDegradationAlongWire) {
+    const tech::Technology& tk = tek();
+    circuit::RcTree t;
+    t.add_wire(0, 3000.0, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, 30);
+    const Waveform in = Waveform::ramp(tk.vdd, 60.0, 10.0, 0.5);
+    SolverOptions opt;
+    opt.dt_ps = 0.5;
+    const StageResult r = simulate_stage(t, &buflib().type(1), in, {}, tk, opt);
+    ASSERT_TRUE(r.settled);
+    double prev_t50 = -1.0, prev_slew = -1.0;
+    for (int i = 1; i < 31; ++i) {
+        const auto& nt = r.node_timing[i];
+        ASSERT_TRUE(nt.t50 && nt.slew());
+        EXPECT_GE(*nt.t50, prev_t50);
+        EXPECT_GE(*nt.slew() + 0.05, prev_slew);  // tiny numeric tolerance
+        prev_t50 = *nt.t50;
+        prev_slew = *nt.slew();
+    }
+}
+
+// Superposition-like sanity: doubling the load cap slows the stage.
+TEST(SolverPhysics, MoreLoadMoreDelay) {
+    const tech::Technology& tk = tek();
+    double d[2];
+    int i = 0;
+    for (double cap : {20.0, 200.0}) {
+        circuit::RcTree t;
+        t.add_node(0, 0.05, cap);
+        const Waveform in = Waveform::ramp(tk.vdd, 60.0, 10.0, 0.5);
+        SolverOptions opt;
+        opt.dt_ps = 0.5;
+        const StageResult r = simulate_stage(t, &buflib().type(1), in, {}, tk, opt);
+        d[i++] = *r.node_timing[1].t50;
+    }
+    EXPECT_GT(d[1], d[0] + 2.0);
+}
+
+// The theta-damped scheme must agree with near-trapezoidal on a smooth
+// (non-stiff) problem: accuracy was not sacrificed globally.
+TEST(SolverNumerics, ThetaBiasIsSmallOnSmoothStage) {
+    const tech::Technology& tk = tek();
+    circuit::RcTree t;
+    const int end = t.add_wire(0, 2000.0, tk.wire_res_kohm_per_um, tk.wire_cap_ff_per_um, 40);
+    t.add_cap(end, 10.0);
+    const Waveform in = Waveform::ramp(tk.vdd, 80.0, 10.0, 0.25);
+    double t50[2];
+    int i = 0;
+    for (double theta : {0.55, 0.501}) {
+        SolverOptions opt;
+        opt.dt_ps = 0.25;
+        opt.theta = theta;
+        const StageResult r = simulate_stage(t, nullptr, in, {}, tk, opt);
+        t50[i++] = *r.node_timing[end].t50;
+    }
+    EXPECT_NEAR(t50[0], t50[1], 0.3);
+}
+
+}  // namespace
+}  // namespace ctsim::sim

@@ -1,0 +1,83 @@
+// The paper's central guarantee, checked as an invariant over a sweep
+// of synthesized trees: every unbuffered run in the final tree is
+// short enough that the slew target holds, and the simulated worst
+// slew respects the hard limit.
+#include <gtest/gtest.h>
+
+#include "cts/maze.h"
+#include "cts_test_util.h"
+#include "sim/netlist_sim.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::buflib;
+using testutil::fitted_quick;
+using testutil::random_sinks;
+using testutil::tek;
+
+/// Longest unbuffered electrical run in a tree: from each buffer
+/// output (or the root), the wire length down to the next buffer/sink.
+double longest_unbuffered_run(const ClockTree& tree, int root) {
+    double worst = 0.0;
+    // Walk all components: start points are the root and buffer nodes.
+    for (int i : tree.subtree(root)) {
+        const TreeNode& n = tree.node(i);
+        const bool is_start = i == root || n.kind == NodeKind::buffer;
+        if (!is_start) continue;
+        // DFS until the next buffer/sink, accumulating wire.
+        struct Item {
+            int node;
+            double len;
+        };
+        std::vector<Item> stack;
+        for (int c : n.children) stack.push_back({c, 0.0});
+        while (!stack.empty()) {
+            const Item it = stack.back();
+            stack.pop_back();
+            const TreeNode& m = tree.node(it.node);
+            const double len = it.len + m.parent_wire_um;
+            if (m.kind == NodeKind::buffer || m.kind == NodeKind::sink) {
+                worst = std::max(worst, len);
+                continue;
+            }
+            for (int c : m.children) stack.push_back({c, len});
+        }
+    }
+    return worst;
+}
+
+class SlewInvariant : public ::testing::TestWithParam<std::tuple<int, double, unsigned>> {};
+
+TEST_P(SlewInvariant, RunsBoundedAndSimulationHonorsLimit) {
+    const auto [count, span, seed] = GetParam();
+    const auto sinks = random_sinks(count, span, seed);
+    SynthesisOptions opt;
+    const SynthesisResult res = synthesize(sinks, fitted_quick(), opt);
+
+    // Structural invariant: no unbuffered run exceeds the slew-limited
+    // maximum of the largest driver (the hard upper bound any stage
+    // could tolerate).
+    const double limit = max_feasible_run(fitted_quick(), fitted_quick().buffers().largest(),
+                                          0, opt.assumed_slew(), opt.slew_target_ps, 1e9);
+    const double worst_run = longest_unbuffered_run(res.tree, res.root);
+    EXPECT_LE(worst_run, limit * 1.3)  // isolated-arm stem + branch margin
+        << "count=" << count << " span=" << span << " seed=" << seed;
+
+    // Electrical invariant: the simulator agrees.
+    sim::NetlistSimOptions so;
+    so.solver.dt_ps = 1.0;
+    const auto rep = sim::simulate_netlist(res.netlist(tek(), buflib()), tek(), buflib(), so);
+    ASSERT_TRUE(rep.complete);
+    EXPECT_LE(rep.worst_slew_ps, opt.slew_limit_ps)
+        << "count=" << count << " span=" << span << " seed=" << seed;
+    EXPECT_EQ(rep.arrivals.size(), static_cast<std::size_t>(count));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SlewInvariant,
+                         ::testing::Combine(::testing::Values(6, 14, 30),
+                                            ::testing::Values(3000.0, 12000.0, 30000.0),
+                                            ::testing::Values(1u, 7u)));
+
+}  // namespace
+}  // namespace ctsim::cts

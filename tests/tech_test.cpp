@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/buffer_lib.h"
+#include "tech/technology.h"
+
+namespace ctsim::tech {
+namespace {
+
+class MosModel : public ::testing::Test {
+  protected:
+    Technology t = Technology::ptm45_aggressive();
+};
+
+TEST_F(MosModel, CutoffBelowThreshold) {
+    const MosCurrent c = mos_current(t.nmos, 1.0, 0.3, 0.5);
+    EXPECT_DOUBLE_EQ(c.id, 0.0);
+    EXPECT_DOUBLE_EQ(c.did_dvgs, 0.0);
+}
+
+TEST_F(MosModel, CurrentScalesWithWidth) {
+    const MosCurrent a = mos_current(t.nmos, 1.0, 1.0, 1.0);
+    const MosCurrent b = mos_current(t.nmos, 3.0, 1.0, 1.0);
+    EXPECT_NEAR(b.id, 3.0 * a.id, 1e-12);
+}
+
+TEST_F(MosModel, OnCurrentMagnitudeIs45nmLike) {
+    // ~1 mA/um NMOS on-current at full bias is the 45 nm ballpark.
+    const MosCurrent c = mos_current(t.nmos, 1.0, t.vdd, t.vdd);
+    EXPECT_GT(c.id, 0.5);
+    EXPECT_LT(c.id, 2.0);
+}
+
+TEST_F(MosModel, TriodeRegionContinuity) {
+    // Value continuity across the vdsat boundary.
+    const double vgs = 0.9;
+    const double vov = vgs - t.nmos.vt;
+    const double vdsat = t.nmos.vdsat_coef * std::pow(vov, t.nmos.alpha / 2.0);
+    const MosCurrent below = mos_current(t.nmos, 2.0, vgs, vdsat - 1e-7);
+    const MosCurrent above = mos_current(t.nmos, 2.0, vgs, vdsat + 1e-7);
+    EXPECT_NEAR(below.id, above.id, 1e-4);
+}
+
+TEST_F(MosModel, DerivativesMatchFiniteDifferences) {
+    const double vgs = 0.8, vds = 0.2, w = 2.0, eps = 1e-6;
+    const MosCurrent c = mos_current(t.nmos, w, vgs, vds);
+    const double did_dvgs_fd =
+        (mos_current(t.nmos, w, vgs + eps, vds).id - mos_current(t.nmos, w, vgs - eps, vds).id) /
+        (2 * eps);
+    const double did_dvds_fd =
+        (mos_current(t.nmos, w, vgs, vds + eps).id - mos_current(t.nmos, w, vgs, vds - eps).id) /
+        (2 * eps);
+    EXPECT_NEAR(c.did_dvgs, did_dvgs_fd, 1e-4 * std::abs(did_dvgs_fd) + 1e-9);
+    EXPECT_NEAR(c.did_dvds, did_dvds_fd, 1e-4 * std::abs(did_dvds_fd) + 1e-9);
+}
+
+TEST_F(MosModel, AntisymmetricInVds) {
+    const MosCurrent pos = mos_current(t.nmos, 1.0, 0.9, 0.3);
+    const MosCurrent neg = mos_current(t.nmos, 1.0, 0.9, -0.3);
+    EXPECT_NEAR(neg.id, -pos.id, 1e-12);
+}
+
+TEST(Wire, TenXScaling) {
+    const Technology agg = Technology::ptm45_aggressive();
+    const Technology nom = Technology::ptm45_nominal();
+    EXPECT_NEAR(agg.wire_res_kohm(1000.0), 10.0 * nom.wire_res_kohm(1000.0), 1e-12);
+    EXPECT_NEAR(agg.wire_cap_ff(1000.0), 10.0 * nom.wire_cap_ff(1000.0), 1e-12);
+    // Paper values: 0.03 Ohm/um and 0.2 fF/um.
+    EXPECT_NEAR(agg.wire_res_kohm(1.0) * 1e3, 0.03, 1e-12);
+    EXPECT_NEAR(agg.wire_cap_ff(1.0), 0.2, 1e-12);
+}
+
+TEST(BufferLib, StandardThreeIsSorted) {
+    const Technology t = Technology::ptm45_aggressive();
+    const BufferLibrary lib = BufferLibrary::standard_three(t);
+    ASSERT_EQ(lib.count(), 3);
+    EXPECT_LT(lib.type(0).size, lib.type(1).size);
+    EXPECT_LT(lib.type(1).size, lib.type(2).size);
+}
+
+TEST(BufferLib, BiggerBufferSmallerOutputResistance) {
+    const Technology t = Technology::ptm45_aggressive();
+    const BufferLibrary lib = BufferLibrary::standard_three(t);
+    EXPECT_GT(lib.type(0).output_res_kohm(t), lib.type(2).output_res_kohm(t));
+}
+
+TEST(BufferLib, InputCapGrowsWithSize) {
+    const Technology t = Technology::ptm45_aggressive();
+    const BufferLibrary lib = BufferLibrary::standard_three(t);
+    EXPECT_LT(lib.type(0).input_cap_ff(t), lib.type(2).input_cap_ff(t));
+    // Input cap should be a few fF: much less than typical wire loads.
+    EXPECT_LT(lib.type(2).input_cap_ff(t), 50.0);
+    EXPECT_GT(lib.type(0).input_cap_ff(t), 1.0);
+}
+
+}  // namespace
+}  // namespace ctsim::tech

@@ -1,0 +1,158 @@
+// ctsim command-line interface.
+//
+// Synthesize a buffered clock tree for a benchmark file or a built-in
+// synthetic instance, verify it with the transient simulator, and
+// optionally export the SPICE deck.
+//
+//   ctsim_cli --bench r3                      # synthetic instance
+//   ctsim_cli --gsrc r1.bst --slew 80         # real GSRC BST file
+//   ctsim_cli --ispd f11.cns --hstructure correct --spice out.sp
+//
+// Exit status is nonzero when the verified worst slew exceeds the
+// limit, so the tool can gate a flow.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_io/parsers.h"
+#include "bench_io/synthetic.h"
+#include "circuit/spice_writer.h"
+#include "cts/synthesizer.h"
+#include "delaylib/fitted_library.h"
+#include "sim/netlist_sim.h"
+
+namespace {
+
+void usage() {
+    std::printf(
+        "usage: ctsim_cli [input] [options]\n"
+        "input (one of):\n"
+        "  --bench NAME        built-in synthetic instance (r1..r5, f11..fnb1)\n"
+        "  --gsrc FILE         GSRC Bookshelf BST sink list\n"
+        "  --ispd FILE         ISPD 2009 CNS benchmark\n"
+        "options:\n"
+        "  --slew-limit PS     hard slew limit (default 100)\n"
+        "  --slew PS           synthesis slew target (default 80)\n"
+        "  --grid N            routing grid cells per dimension (default 45)\n"
+        "  --hstructure MODE   off | reestimate | correct (default off)\n"
+        "  --seed-policy P     max-latency | random (default max-latency)\n"
+        "  --matching P        greedy | path-growing (default greedy)\n"
+        "  --library FILE      delay library cache (default ctsim_delaylib_45nm.cache)\n"
+        "  --spice FILE        export the verified netlist as a SPICE deck\n"
+        "  --quiet             only print the summary line\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ctsim;
+    std::string bench_name, gsrc_file, ispd_file, spice_file;
+    std::string library_path = "ctsim_delaylib_45nm.cache";
+    cts::SynthesisOptions opt;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--bench") bench_name = next();
+        else if (a == "--gsrc") gsrc_file = next();
+        else if (a == "--ispd") ispd_file = next();
+        else if (a == "--slew-limit") opt.slew_limit_ps = std::atof(next());
+        else if (a == "--slew") opt.slew_target_ps = std::atof(next());
+        else if (a == "--grid") opt.grid_cells_per_dim = std::atoi(next());
+        else if (a == "--library") library_path = next();
+        else if (a == "--spice") spice_file = next();
+        else if (a == "--quiet") quiet = true;
+        else if (a == "--hstructure") {
+            const std::string m = next();
+            if (m == "off") opt.hstructure = cts::HStructureMode::off;
+            else if (m == "reestimate") opt.hstructure = cts::HStructureMode::reestimate;
+            else if (m == "correct") opt.hstructure = cts::HStructureMode::correct;
+            else {
+                std::fprintf(stderr, "unknown hstructure mode '%s'\n", m.c_str());
+                return 2;
+            }
+        } else if (a == "--seed-policy") {
+            const std::string p = next();
+            opt.seed_policy = p == "random" ? cts::SeedPolicy::random
+                                            : cts::SeedPolicy::max_latency;
+        } else if (a == "--matching") {
+            const std::string p = next();
+            opt.matching = p == "path-growing" ? cts::MatchingPolicy::path_growing
+                                               : cts::MatchingPolicy::greedy_centroid;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    std::vector<cts::SinkSpec> sinks;
+    std::string label;
+    if (!bench_name.empty()) {
+        const auto spec = bench_io::find_benchmark(bench_name);
+        if (!spec) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n", bench_name.c_str());
+            return 2;
+        }
+        sinks = bench_io::generate(*spec);
+        label = bench_name;
+    } else if (!gsrc_file.empty()) {
+        std::ifstream in(gsrc_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", gsrc_file.c_str());
+            return 2;
+        }
+        sinks = bench_io::parse_gsrc_bst(in);
+        label = gsrc_file;
+    } else if (!ispd_file.empty()) {
+        std::ifstream in(ispd_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", ispd_file.c_str());
+            return 2;
+        }
+        sinks = bench_io::parse_ispd09(in);
+        label = ispd_file;
+    } else {
+        usage();
+        return 2;
+    }
+
+    const tech::Technology tk = tech::Technology::ptm45_aggressive();
+    const tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tk);
+    const auto model = delaylib::FittedLibrary::load_or_characterize(library_path, tk, lib, {});
+
+    if (!quiet)
+        std::printf("%s: %zu sinks, slew target %.0f ps (limit %.0f ps)\n", label.c_str(),
+                    sinks.size(), opt.slew_target_ps, opt.slew_limit_ps);
+
+    const cts::SynthesisResult result = cts::synthesize(sinks, *model, opt);
+    if (!quiet)
+        std::printf("tree: %d levels, %d buffers, %.2f mm wire, %d h-flips\n", result.levels,
+                    result.buffer_count, result.wire_length_um / 1000.0,
+                    result.hstats.flips);
+
+    const circuit::Netlist net = result.netlist(tk, lib);
+    const sim::NetlistSimReport rep = sim::simulate_netlist(net, tk, lib);
+
+    std::printf("%s: worst_slew=%.1fps skew=%.2fps latency=%.3fns %s\n", label.c_str(),
+                rep.worst_slew_ps, rep.skew_ps, rep.max_latency_ps / 1000.0,
+                rep.worst_slew_ps <= opt.slew_limit_ps ? "PASS" : "SLEW-VIOLATION");
+
+    if (!spice_file.empty()) {
+        std::ofstream deck(spice_file);
+        circuit::write_spice(deck, net, tk, lib);
+        if (!quiet) std::printf("wrote %s\n", spice_file.c_str());
+    }
+    return rep.worst_slew_ps <= opt.slew_limit_ps ? 0 : 1;
+}
