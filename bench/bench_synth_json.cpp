@@ -1,0 +1,171 @@
+// Synthesis perf harness: times the complexity_scaling /
+// table5_1-style instances under three configurations
+//
+//   seed       - evaluation cache off, early exit off, serial
+//                (bit-for-bit the pre-overhaul hot path)
+//   opt        - cache + early exit on, serial
+//   opt_par    - cache + early exit on, one thread per hardware thread
+//
+// and writes BENCH_synth.json next to the binary so the performance
+// trajectory is tracked from PR to PR. Exit status is nonzero when a
+// parallel run diverges from its serial twin (they must be identical).
+//
+// Environment:
+//   CTSIM_BENCH_QUICK=1   drop the largest instances (CI smoke mode)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace ctsim;
+
+struct ModeResult {
+    double seconds{0.0};
+    double wirelength_um{0.0};
+    int buffers{0};
+    double skew_ps{0.0};
+    int tree_nodes{0};
+};
+
+struct InstanceRow {
+    std::string name;
+    int sinks{0};
+    double span_um{0.0};
+    ModeResult seed, opt, opt_par;
+    bool parallel_identical{true};
+};
+
+cts::SynthesisOptions mode_options(bool optimized, int threads) {
+    cts::SynthesisOptions o;
+    o.use_eval_cache = optimized;
+    o.maze_early_exit = optimized;
+    o.num_threads = threads;
+    return o;
+}
+
+ModeResult run_mode(const std::vector<cts::SinkSpec>& sinks, const cts::SynthesisOptions& o) {
+    ModeResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    const cts::SynthesisResult res = cts::synthesize(sinks, bench::fitted(), o);
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    r.wirelength_um = res.wire_length_um;
+    r.buffers = res.buffer_count;
+    r.skew_ps = res.root_timing.max_ps - res.root_timing.min_ps;
+    r.tree_nodes = res.tree.size();
+    return r;
+}
+
+InstanceRow run_instance(const std::string& name, int nsinks, double span, unsigned seed) {
+    bench_io::BenchmarkSpec spec;
+    spec.name = name;
+    spec.sink_count = nsinks;
+    spec.die_span_um = span;
+    spec.seed = seed;
+    const auto sinks = bench_io::generate(spec);
+
+    InstanceRow row;
+    row.name = name;
+    row.sinks = nsinks;
+    row.span_um = span;
+    row.seed = run_mode(sinks, mode_options(false, 1));
+    row.opt = run_mode(sinks, mode_options(true, 1));
+    row.opt_par = run_mode(sinks, mode_options(true, 0));
+    row.parallel_identical = row.opt.wirelength_um == row.opt_par.wirelength_um &&
+                             row.opt.buffers == row.opt_par.buffers &&
+                             row.opt.skew_ps == row.opt_par.skew_ps &&
+                             row.opt.tree_nodes == row.opt_par.tree_nodes;
+    std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  par %7.3fs | "
+                "speedup %.2fx%s\n",
+                name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
+                row.opt_par.seconds, row.seed.seconds / row.opt.seconds,
+                row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
+    std::fflush(stdout);
+    return row;
+}
+
+void emit_mode(std::FILE* f, const char* key, const ModeResult& m, bool trailing_comma) {
+    std::fprintf(f,
+                 "      \"%s\": {\"seconds\": %.6f, \"wirelength_um\": %.3f, "
+                 "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d}%s\n",
+                 key, m.seconds, m.wirelength_um, m.buffers, m.skew_ps, m.tree_nodes,
+                 trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("synthesis perf harness (BENCH_synth.json)");
+    const bool quick = std::getenv("CTSIM_BENCH_QUICK") != nullptr;
+
+    (void)bench::fitted();  // pay characterization/load outside the timers
+
+    std::vector<InstanceRow> rows;
+    // complexity_scaling sink-count sweep (die 40 mm), seed 11 -- the
+    // largest instance is the acceptance metric of the overhaul PR.
+    for (int n : {100, 200, 400, 800, 1600, 3200}) {
+        if (quick && n > 400) continue;
+        rows.push_back(run_instance("scal_n" + std::to_string(n), n, 40000.0, 11));
+    }
+    // complexity_scaling die-span sweep (400 sinks), seed 13: span
+    // stresses the routing grids (the paper's O(l^2) term).
+    for (double span : {20000.0, 80000.0}) {
+        if (quick && span > 20000.0) continue;
+        rows.push_back(run_instance(
+            "scal_span" + std::to_string(static_cast<int>(span / 1000.0)), 400, span, 13));
+    }
+    // table5_1-style GSRC-r-class synthetic instances.
+    for (int n : {267, 598}) {
+        if (quick && n > 300) continue;
+        rows.push_back(run_instance("gsrc_r" + std::to_string(n), n, 69000.0, 42));
+    }
+
+    // Largest complexity_scaling instance present in this run.
+    const InstanceRow* largest = nullptr;
+    for (const InstanceRow& r : rows)
+        if (r.name.rfind("scal_n", 0) == 0 && (!largest || r.sinks > largest->sinks))
+            largest = &r;
+
+    bool all_identical = true;
+    for (const InstanceRow& r : rows) all_identical &= r.parallel_identical;
+
+    std::FILE* f = std::fopen("BENCH_synth.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_synth.json\n");
+        return 2;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"ctsim_synth\",\n  \"quick\": %s,\n",
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"instances\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const InstanceRow& r = rows[i];
+        std::fprintf(f, "    {\n      \"name\": \"%s\", \"sinks\": %d, \"span_um\": %.0f,\n",
+                     r.name.c_str(), r.sinks, r.span_um);
+        emit_mode(f, "seed", r.seed, true);
+        emit_mode(f, "opt", r.opt, true);
+        emit_mode(f, "opt_parallel", r.opt_par, true);
+        std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
+                     r.seed.seconds / r.opt.seconds);
+        std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
+                     r.parallel_identical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    if (largest) {
+        std::fprintf(f, "  \"largest_complexity_scaling\": \"%s\",\n", largest->name.c_str());
+        std::fprintf(f, "  \"largest_speedup_seed_vs_opt\": %.3f,\n",
+                     largest->seed.seconds / largest->opt.seconds);
+    }
+    std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
+    std::fclose(f);
+
+    std::printf("\nwrote BENCH_synth.json\n");
+    if (largest)
+        std::printf("largest complexity_scaling speedup (seed -> opt): %.2fx\n",
+                    largest->seed.seconds / largest->opt.seconds);
+    return all_identical ? 0 : 1;
+}

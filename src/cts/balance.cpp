@@ -12,16 +12,15 @@ double estimate_path_delay(const delaylib::DelayModel& model, double dist_um,
                            const SynthesisOptions& opt) {
     if (dist_um <= 0.0) return 0.0;
     const int tmax = model.buffers().largest();
-    const double assumed = opt.assumed_slew();
-    const double run = std::max(
-        100.0, max_feasible_run(model, tmax, tmax, assumed, opt.slew_target_ps, 1e9));
+    delaylib::EvalCache& ec = eval_cache_for(model, opt);
+    const double run = std::max(100.0, ec.max_feasible_run(tmax, tmax));
     double delay = 0.0;
     double remaining = dist_um;
     while (remaining > run) {
-        delay += model.stage(tmax, tmax, assumed, run).delay_ps;
+        delay += ec.stage_delay(tmax, tmax, run);
         remaining -= run;
     }
-    delay += model.wire_delay(tmax, tmax, assumed, remaining);
+    delay += ec.wire_delay(tmax, tmax, remaining);
     return delay;
 }
 
@@ -29,7 +28,7 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
                         const delaylib::DelayModel& model, const SynthesisOptions& opt) {
     SnakeResult res;
     res.new_root = root;
-    const double assumed = opt.assumed_slew();
+    delaylib::EvalCache& ec = eval_cache_for(model, opt);
     const geom::Pt pos = tree.node(root).pos;
 
     while (res.added_delay_ps < burn_ps) {
@@ -49,9 +48,8 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
         double best_len = 0.0;
         double best_delay = -1.0;
         for (int t = 0; t < model.buffers().count(); ++t) {
-            const double len =
-                max_feasible_run(model, t, ltype, assumed, opt.slew_target_ps, 1e9);
-            const double d = model.stage(t, ltype, assumed, len).delay_ps;
+            const double len = ec.max_feasible_run(t, ltype);
+            const double d = ec.stage_delay(t, ltype, len);
             if (d > best_delay) {
                 best_delay = d;
                 best_t = t;
@@ -67,10 +65,9 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
             double fallback_min = std::numeric_limits<double>::max();
             int fallback_t = best_t;
             for (int t = 0; t < model.buffers().count(); ++t) {
-                const double len =
-                    max_feasible_run(model, t, ltype, assumed, opt.slew_target_ps, 1e9);
-                const double dmin = model.stage(t, ltype, assumed, 0.0).delay_ps;
-                const double dmax = model.stage(t, ltype, assumed, len).delay_ps;
+                const double len = ec.max_feasible_run(t, ltype);
+                const double dmin = ec.stage_delay(t, ltype, 0.0);
+                const double dmax = ec.stage_delay(t, ltype, len);
                 if (dmin < fallback_min) {
                     fallback_min = dmin;
                     fallback_t = t;
@@ -83,16 +80,16 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
             }
             best_t = trim_t >= 0 ? trim_t : fallback_t;
             double lo = 0.0;
-            double hi = max_feasible_run(model, best_t, ltype, assumed, opt.slew_target_ps, 1e9);
+            double hi = ec.max_feasible_run(best_t, ltype);
             for (int it = 0; it < 30; ++it) {
                 const double mid = 0.5 * (lo + hi);
-                if (model.stage(best_t, ltype, assumed, mid).delay_ps <= remaining)
+                if (ec.stage_delay(best_t, ltype, mid) <= remaining)
                     lo = mid;
                 else
                     hi = mid;
             }
-            best_len = model.stage(best_t, ltype, assumed, lo).delay_ps <= remaining ? lo : 0.0;
-            best_delay = model.stage(best_t, ltype, assumed, best_len).delay_ps;
+            best_len = ec.stage_delay(best_t, ltype, lo) <= remaining ? lo : 0.0;
+            best_delay = ec.stage_delay(best_t, ltype, best_len);
         }
 
         // Snaked wire: electrically best_len, geometrically in place.

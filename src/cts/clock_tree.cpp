@@ -59,31 +59,62 @@ std::vector<int> ClockTree::sinks() const {
     return out;
 }
 
+void ClockTree::subtree_into(int root, std::vector<int>& out) const {
+    out.clear();
+    out.push_back(root);
+    for (std::size_t k = 0; k < out.size(); ++k)
+        for (int c : nodes_[out[k]].children) out.push_back(c);
+}
+
 std::vector<int> ClockTree::subtree(int root) const {
     std::vector<int> order;
-    order.push_back(root);
-    for (std::size_t k = 0; k < order.size(); ++k)
-        for (int c : nodes_[order[k]].children) order.push_back(c);
+    subtree_into(root, order);
     return order;
+}
+
+namespace {
+/// Per-thread traversal scratch for the const walkers below; safe
+/// because every user fully consumes it before returning.
+std::vector<int>& tls_walk_scratch() {
+    static thread_local std::vector<int> scratch;
+    return scratch;
+}
+}  // namespace
+
+void ClockTree::sinks_below_into(int root, std::vector<int>& out) const {
+    out.clear();
+    // Reuse `out` as the BFS queue and compact sinks in place: every
+    // visited node is appended, sinks are kept at the front.
+    out.push_back(root);
+    std::size_t nsinks = 0;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+        const int id = out[k];
+        for (int c : nodes_[id].children) out.push_back(c);
+        if (nodes_[id].kind == NodeKind::sink) out[nsinks++] = id;
+    }
+    out.resize(nsinks);
 }
 
 std::vector<int> ClockTree::sinks_below(int root) const {
     std::vector<int> out;
-    for (int i : subtree(root))
-        if (nodes_[i].kind == NodeKind::sink) out.push_back(i);
+    sinks_below_into(root, out);
     return out;
 }
 
 double ClockTree::wire_length_below(int root) const {
+    std::vector<int>& order = tls_walk_scratch();
+    subtree_into(root, order);
     double sum = 0.0;
-    for (int i : subtree(root))
+    for (int i : order)
         if (i != root) sum += nodes_[i].parent_wire_um;
     return sum;
 }
 
 int ClockTree::buffer_count_below(int root) const {
+    std::vector<int>& order = tls_walk_scratch();
+    subtree_into(root, order);
     int count = 0;
-    for (int i : subtree(root))
+    for (int i : order)
         if (nodes_[i].kind == NodeKind::buffer) ++count;
     return count;
 }
@@ -96,7 +127,9 @@ double ClockTree::root_input_cap_ff(int root, const tech::Technology& tech,
     // Unbuffered interior root: accumulate wire and load caps down to
     // the first buffers.
     double cap = 0.0;
-    std::vector<int> stack{root};
+    std::vector<int>& stack = tls_walk_scratch();
+    stack.clear();
+    stack.push_back(root);
     while (!stack.empty()) {
         const int u = stack.back();
         stack.pop_back();

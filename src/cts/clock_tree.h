@@ -55,6 +55,11 @@ class ClockTree {
     /// Preorder list of the subtree rooted at `root`.
     std::vector<int> subtree(int root) const;
 
+    /// Scratch-buffer variants for hot loops: fill `out` (cleared
+    /// first, capacity reused) instead of allocating a fresh vector.
+    void subtree_into(int root, std::vector<int>& out) const;
+    void sinks_below_into(int root, std::vector<int>& out) const;
+
     /// Total wire length of the subtree rooted at `root` (whole tree
     /// when root's parent is -1 and all nodes hang below it).
     double wire_length_below(int root) const;

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+
+#include "delaylib/eval_cache.h"
 
 namespace ctsim::cts {
 
 namespace {
 
 struct Label {
-    bool valid{false};
+    /// Valid iff stamp equals the owning SideDp's epoch; lets the
+    /// pooled grids skip the per-merge clear entirely.
+    std::uint32_t stamp{0};
     double delay_complete_max{0.0};
     double delay_complete_min{0.0};
     double run_len{0.0};
@@ -24,29 +29,56 @@ struct Label {
     double est_ps{0.0};
 };
 
+/// Visit every in-bounds cell at L1 cell-distance `ring` from `src`.
+template <typename Fn>
+void for_each_ring_cell(const geom::RoutingGrid& grid, geom::Cell src, int ring, Fn&& fn) {
+    const int nx = grid.nx(), ny = grid.ny();
+    const int sx = src.ix, sy = src.iy;
+    for (int dx = -std::min(ring, sx); dx <= std::min(ring, nx - 1 - sx); ++dx) {
+        const int rem = ring - std::abs(dx);
+        for (int dy : {-rem, rem}) {
+            const int y = sy + dy;
+            if (y < 0 || y >= ny) continue;
+            fn(sx + dx, y, dx, dy);
+            if (dy == 0) break;  // avoid visiting {x, sy} twice
+        }
+    }
+}
+
 /// One side's monotone label grid.
+///
+/// The label storage is caller-provided and reused across maze calls
+/// (the seed allocated cell_count() labels per side per merge, which
+/// showed up as a few percent of synthesis time on its own). All
+/// delay-model queries go through the per-thread EvalCache.
 class SideDp {
   public:
     SideDp(const geom::RoutingGrid& grid, const RouteEndpoint& ep,
-           const delaylib::DelayModel& model, const SynthesisOptions& opt)
-        : grid_(grid), model_(model), opt_(opt), labels_(grid.cell_count()) {
+           const delaylib::DelayModel& model, const SynthesisOptions& opt,
+           delaylib::EvalCache& ec, std::vector<Label>& labels, std::uint32_t epoch)
+        : grid_(grid), ec_(ec), labels_(labels), epoch_(epoch) {
         tmax_ = model.buffers().largest();
-        assumed_ = opt.assumed_slew();
         source_cell_ = grid.cell_of(ep.pos);
         source_pos_ = ep.pos;
+        // Grow-only: stale entries from earlier merges are recognized
+        // (and ignored) by their old epoch stamp.
+        if (labels_.size() < static_cast<std::size_t>(grid.cell_count()))
+            labels_.resize(grid.cell_count());
         // Feasible-run limit per load type, for the largest driver:
-        // this is the hot query of the whole router, so precompute it.
-        // Runs are deliberately capped below the slew-limited maximum
-        // (60%) so that downstream stages retain wire-trim headroom for
-        // the merge-time delay balancing; the remainder is also a
-        // guard band for branch loading at merge points.
+        // this is the hot query of the whole router. Runs are
+        // deliberately capped below the slew-limited maximum (60%) so
+        // that downstream stages retain wire-trim headroom for the
+        // merge-time delay balancing; the remainder is also a guard
+        // band for branch loading at merge points.
         run_limit_.resize(model.buffers().count());
         for (int lt = 0; lt < model.buffers().count(); ++lt)
-            run_limit_[lt] = 0.60 * max_feasible_run(model_, tmax_, lt, assumed_,
-                                                     opt.slew_target_ps, 1e9);
+            run_limit_[lt] = 0.60 * ec_.max_feasible_run(tmax_, lt);
+
+        const int sx = source_cell_.ix, sy = source_cell_.iy;
+        max_ring_ = std::max(sx, grid.nx() - 1 - sx) + std::max(sy, grid.ny() - 1 - sy);
 
         Label seed;
-        seed.valid = true;
+        seed.stamp = epoch_;
         seed.delay_complete_max = ep.delay_max_ps;
         seed.delay_complete_min = ep.delay_min_ps;
         seed.run_len = 0.0;
@@ -55,9 +87,7 @@ class SideDp {
             // Commit a buffer right at the subtree root (smallest type:
             // it sees no wire below, so any type holds the slew).
             const int t = model.buffers().smallest();
-            const double stage_delay =
-                model.buffer_delay(t, ep.load_type, assumed_, 0.0) +
-                model.wire_delay(t, ep.load_type, assumed_, 0.0);
+            const double stage_delay = ec_.stage_delay(t, ep.load_type, 0.0);
             seed.delay_complete_max += stage_delay;
             seed.delay_complete_min += stage_delay;
             seed.run_load = t;
@@ -68,15 +98,42 @@ class SideDp {
         }
         seed.est_ps = estimate(seed);
         labels_[grid.index(source_cell_)] = seed;
-        relax_all();
+        frontier_min_est_ = seed.est_ps;
     }
 
     const Label& at(geom::Cell c) const { return labels_[grid_.index(c)]; }
+    bool valid_at(geom::Cell c) const { return labels_[grid_.index(c)].stamp == epoch_; }
     geom::Cell source_cell() const { return source_cell_; }
+    int max_ring() const { return max_ring_; }
+    /// Min est over the labels created by the last relax_ring call
+    /// (+inf when the ring produced none): a floor for every label any
+    /// later ring can produce, up to fit-noise slack.
+    double frontier_min_est() const { return frontier_min_est_; }
 
     /// Pessimistic delay from a would-be merge at `c` down to the
     /// slowest sink of this side.
     double delay_at(geom::Cell c) const { return labels_[grid_.index(c)].est_ps; }
+
+    /// Relax every cell at L1 cell-distance `ring` from the source
+    /// from its up-to-two predecessors (one step closer in x or y).
+    void relax_ring(int ring) {
+        frontier_min_est_ = std::numeric_limits<double>::infinity();
+        if (ring < 1 || ring > max_ring_) return;
+        for_each_ring_cell(grid_, source_cell_, ring, [&](int x, int y, int dx, int dy) {
+            const int to = grid_.index({x, y});
+            if (dx != 0) {
+                const int px = x + (dx > 0 ? -1 : 1);
+                relax(grid_.index({px, y}), to, grid_.pitch_x());
+            }
+            if (dy != 0) {
+                const int py = y + (dy > 0 ? -1 : 1);
+                relax(grid_.index({x, py}), to, grid_.pitch_y());
+            }
+            const Label& lab = labels_[to];
+            if (lab.stamp == epoch_)
+                frontier_min_est_ = std::min(frontier_min_est_, lab.est_ps);
+        });
+    }
 
     /// Reconstruct the routed path from the source cell to `meet`.
     RoutedPath reconstruct(geom::Cell meet) const {
@@ -115,92 +172,128 @@ class SideDp {
     }
 
   private:
-    double estimate(const Label& l) const {
-        return l.delay_complete_max +
-               model_.wire_delay(tmax_, l.run_load, assumed_, l.run_len);
+    double estimate(const Label& l) {
+        return l.delay_complete_max + ec_.wire_delay(tmax_, l.run_load, l.run_len);
     }
 
     /// Try to improve cell `to` from label at `from_idx` over a step of
-    /// `step_um`.
+    /// `step_um`. Scalars only until the candidate wins: in the common
+    /// case (losing to the other predecessor) nothing is written.
     void relax(int from_idx, int to_idx, double step_um) {
         const Label& src = labels_[from_idx];
-        if (!src.valid) return;
+        if (src.stamp != epoch_) return;
 
-        Label cand = src;
-        cand.prev = from_idx;
-        cand.placed = false;
-        cand.placed_type = -1;
-        cand.placed_run_below = 0.0;
+        double dmax = src.delay_complete_max;
+        double dmin = src.delay_complete_min;
+        double run;
+        int load;
+        int nbuf = src.nbuf;
+        bool placed = false;
+        int placed_type = -1;
+        double placed_run_below = 0.0;
 
         const double new_run = src.run_len + step_um;
-        const double limit = run_limit_[src.run_load];
-        if (new_run <= limit) {
-            cand.run_len = new_run;
+        if (new_run <= run_limit_[src.run_load]) {
+            run = new_run;
+            load = src.run_load;
         } else {
             // Commit a buffer at the predecessor cell: intelligent
             // sizing over the run accumulated so far.
-            const auto t = choose_buffer(model_, src.run_load, src.run_len, assumed_,
-                                         opt_.slew_target_ps, opt_.intelligent_sizing);
+            const auto t = ec_.choose_buffer(src.run_load, src.run_len);
             if (!t.has_value()) return;  // cannot hold slew; label dies
-            const double stage = model_.buffer_delay(*t, src.run_load, assumed_, src.run_len) +
-                                 model_.wire_delay(*t, src.run_load, assumed_, src.run_len);
-            cand.delay_complete_max += stage;
-            cand.delay_complete_min += stage;
-            cand.run_load = *t;
-            cand.run_len = step_um;
-            cand.nbuf += 1;
-            cand.placed = true;
-            cand.placed_type = *t;
-            cand.placed_run_below = src.run_len;
+            const double stage = ec_.stage_delay(*t, src.run_load, src.run_len);
+            dmax += stage;
+            dmin += stage;
+            load = *t;
+            run = step_um;
+            nbuf += 1;
+            placed = true;
+            placed_type = *t;
+            placed_run_below = src.run_len;
         }
-        cand.est_ps = estimate(cand);
+        const double est = dmax + ec_.wire_delay(tmax_, load, run);
 
         Label& dst = labels_[to_idx];
-        if (!dst.valid || cand.est_ps < dst.est_ps ||
-            (cand.est_ps == dst.est_ps && cand.nbuf < dst.nbuf)) {
-            dst = cand;
-        }
-    }
-
-    /// Monotone wavefront: process cells in increasing L1 cell-distance
-    /// from the source cell; each cell is relaxed from its up-to-two
-    /// predecessors (one step closer in x or in y).
-    void relax_all() {
-        const int nx = grid_.nx(), ny = grid_.ny();
-        const int sx = source_cell_.ix, sy = source_cell_.iy;
-        const int max_ring = (std::max(sx, nx - 1 - sx)) + (std::max(sy, ny - 1 - sy));
-        for (int ring = 1; ring <= max_ring; ++ring) {
-            for (int dx = -std::min(ring, sx); dx <= std::min(ring, nx - 1 - sx); ++dx) {
-                const int rem = ring - std::abs(dx);
-                for (int dy : {-rem, rem}) {
-                    const int x = sx + dx, y = sy + dy;
-                    if (y < 0 || y >= ny) continue;
-                    const int to = grid_.index({x, y});
-                    // Predecessor one step toward the source in x.
-                    if (dx != 0) {
-                        const int px = x + (dx > 0 ? -1 : 1);
-                        relax(grid_.index({px, y}), to, grid_.pitch_x());
-                    }
-                    if (dy != 0) {
-                        const int py = y + (dy > 0 ? -1 : 1);
-                        relax(grid_.index({x, py}), to, grid_.pitch_y());
-                    }
-                    if (dy == 0) break;  // avoid processing {x, sy} twice
-                }
-            }
+        if (dst.stamp != epoch_ || est < dst.est_ps ||
+            (est == dst.est_ps && nbuf < dst.nbuf)) {
+            dst.stamp = epoch_;
+            dst.delay_complete_max = dmax;
+            dst.delay_complete_min = dmin;
+            dst.run_len = run;
+            dst.run_load = load;
+            dst.nbuf = nbuf;
+            dst.prev = from_idx;
+            dst.placed = placed;
+            dst.placed_type = placed_type;
+            dst.placed_run_below = placed_run_below;
+            dst.est_ps = est;
         }
     }
 
     const geom::RoutingGrid& grid_;
-    const delaylib::DelayModel& model_;
-    const SynthesisOptions& opt_;
-    std::vector<Label> labels_;
+    delaylib::EvalCache& ec_;
+    std::vector<Label>& labels_;
     std::vector<double> run_limit_;
     geom::Cell source_cell_{};
     geom::Pt source_pos_{};
     int tmax_{0};
-    double assumed_{80.0};
+    int max_ring_{0};
+    std::uint32_t epoch_{0};
+    double frontier_min_est_{0.0};
 };
+
+/// Incumbent meet cell under the paper's selection rule: minimize
+/// |d1 - d2|, tie-broken by total. With `tol > 0`, diffs within `tol`
+/// count as ties (preferring the smaller total), which keeps fit-level
+/// noise in far cells from outbidding a near-ideal meet and is what
+/// makes a sound early exit possible.
+struct MeetIncumbent {
+    double best_diff{std::numeric_limits<double>::max()};
+    double best_total{std::numeric_limits<double>::max()};
+    int best_idx{-1};
+    double tol{0.0};
+
+    /// Returns true only for a *material* improvement (a quarter-ps
+    /// move of either score): marginal tie-break gains must not reset
+    /// the caller's stale-ring streak or expansion drags on.
+    bool offer(int idx, double d1, double d2) {
+        const double diff = std::abs(d1 - d2);
+        const double total = d1 + d2;
+        if (tol <= 0.0) {
+            // Exact replica of the seed full-scan selection.
+            if (diff < best_diff - 1e-12 ||
+                (std::abs(diff - best_diff) <= 1e-12 && total < best_total)) {
+                best_diff = diff;
+                best_total = total;
+                best_idx = idx;
+                return true;
+            }
+            return false;
+        }
+        if (diff < best_diff - tol ||
+            (diff <= best_diff + tol && total < best_total - 1e-12)) {
+            const bool material = diff < best_diff - 0.25 || total < best_total - 0.25;
+            best_diff = std::min(best_diff, diff);
+            best_total = total;
+            best_idx = idx;
+            return material;
+        }
+        return false;
+    }
+};
+
+/// Slack absorbing non-monotonicity of the fitted surfaces in the
+/// frontier lower bounds [ps].
+constexpr double kMonoSlackPs = 2.0;
+/// Meet-diff tolerance of the early-exit path [ps]. One grid step
+/// changes a side's delay by a few ps, so sub-grid-step diffs are
+/// noise; the binary-search stage then slides the merge continuously
+/// along the free segment and the engine-driven rebalance trims the
+/// rest, so meet choices within this band are interchangeable.
+constexpr double kMeetTolPs = 5.0;
+/// Stop after this many rings without material incumbent improvement
+/// (covers imbalanced merges where the analytic bound stays open).
+constexpr int kStaleRingLimit = 10;
 
 }  // namespace
 
@@ -239,35 +332,114 @@ std::optional<int> choose_buffer(const delaylib::DelayModel& model, int ltype, d
     return best;
 }
 
+delaylib::EvalCache& eval_cache_for(const delaylib::DelayModel& model,
+                                    const SynthesisOptions& opt) {
+    delaylib::EvalCache::Config cfg;
+    cfg.model = &model;
+    cfg.assumed_slew_ps = opt.assumed_slew();
+    cfg.target_slew_ps = opt.slew_target_ps;
+    cfg.quantum_um = opt.eval_cache_quantum_um;
+    cfg.intelligent_sizing = opt.intelligent_sizing;
+    cfg.enabled = opt.use_eval_cache;
+    return delaylib::EvalCache::thread_local_for(cfg);
+}
+
 MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
                       const delaylib::DelayModel& model, const SynthesisOptions& opt) {
     const geom::RoutingGrid grid = geom::RoutingGrid::for_net(
         a.pos, b.pos, opt.grid_cells_per_dim, opt.grid_margin_um, opt.grid_max_pitch_um);
 
-    SideDp dp1(grid, a, model, opt);
-    SideDp dp2(grid, b, model, opt);
+    delaylib::EvalCache& ec = eval_cache_for(model, opt);
+    // Label grids pooled per thread and reused across merges; the
+    // epoch stamp invalidates previous merges' labels without a clear.
+    static thread_local std::vector<Label> labels1, labels2;
+    static thread_local std::uint32_t epoch = 0;
+    ++epoch;
+    if (epoch == 0) {  // wrapped: force-reset the pooled grids
+        labels1.assign(labels1.size(), Label{});
+        labels2.assign(labels2.size(), Label{});
+        epoch = 1;
+    }
+    SideDp dp1(grid, a, model, opt, ec, labels1, epoch);
+    SideDp dp2(grid, b, model, opt, ec, labels2, epoch);
 
-    // Pick the meet cell minimizing |d1 - d2|, tie-broken by total.
-    double best_diff = std::numeric_limits<double>::max();
-    double best_total = std::numeric_limits<double>::max();
-    int best_idx = -1;
-    for (int idx = 0; idx < grid.cell_count(); ++idx) {
-        const geom::Cell c = grid.cell_at_index(idx);
-        const Label& l1 = dp1.at(c);
-        const Label& l2 = dp2.at(c);
-        if (!l1.valid || !l2.valid) continue;
-        const double diff = std::abs(l1.est_ps - l2.est_ps);
-        const double total = l1.est_ps + l2.est_ps;
-        if (diff < best_diff - 1e-12 ||
-            (std::abs(diff - best_diff) <= 1e-12 && total < best_total)) {
-            best_diff = diff;
-            best_total = total;
-            best_idx = idx;
+    MeetIncumbent inc;
+    inc.tol = opt.maze_early_exit ? kMeetTolPs : 0.0;
+
+    const geom::Cell s1 = dp1.source_cell();
+    const geom::Cell s2 = dp2.source_cell();
+    const auto ring_of = [](geom::Cell c, geom::Cell s) {
+        return std::abs(c.ix - s.ix) + std::abs(c.iy - s.iy);
+    };
+
+    if (!opt.maze_early_exit) {
+        // Reference path: full independent expansions, then a full-grid
+        // scan (bit-for-bit the seed behavior).
+        for (int r = 1; r <= dp1.max_ring(); ++r) dp1.relax_ring(r);
+        for (int r = 1; r <= dp2.max_ring(); ++r) dp2.relax_ring(r);
+        for (int idx = 0; idx < grid.cell_count(); ++idx) {
+            const geom::Cell c = grid.cell_at_index(idx);
+            if (!dp1.valid_at(c) || !dp2.valid_at(c)) continue;
+            inc.offer(idx, dp1.at(c).est_ps, dp2.at(c).est_ps);
+        }
+    } else {
+        // Interleaved expansion: both fronts advance ring-by-ring; a
+        // cell becomes a meet candidate the moment the later side
+        // labels it. Expansion stops when no label any future ring can
+        // produce could beat the incumbent.
+        if (s1 == s2) inc.offer(grid.index(s1), dp1.delay_at(s1), dp2.delay_at(s2));
+        const int last_ring = std::max(dp1.max_ring(), dp2.max_ring());
+        int stale_rings = 0;
+        for (int r = 1; r <= last_ring; ++r) {
+            dp1.relax_ring(r);
+            dp2.relax_ring(r);
+
+            bool improved = false;
+            // New candidates: ring-r cells of side 1 the other side has
+            // already labeled, and ring-r cells of side 2 labeled by
+            // side 1 strictly earlier (avoids double-evaluating cells
+            // equidistant from both sources).
+            for_each_ring_cell(grid, s1, r, [&](int x, int y, int, int) {
+                const geom::Cell c{x, y};
+                if (ring_of(c, s2) > r) return;
+                if (dp1.valid_at(c) && dp2.valid_at(c))
+                    improved |= inc.offer(grid.index(c), dp1.at(c).est_ps, dp2.at(c).est_ps);
+            });
+            for_each_ring_cell(grid, s2, r, [&](int x, int y, int, int) {
+                const geom::Cell c{x, y};
+                if (ring_of(c, s1) >= r) return;
+                if (dp1.valid_at(c) && dp2.valid_at(c))
+                    improved |= inc.offer(grid.index(c), dp1.at(c).est_ps, dp2.at(c).est_ps);
+            });
+
+            if (inc.best_idx < 0) continue;
+            const double f1 = dp1.frontier_min_est();
+            const double f2 = dp2.frontier_min_est();
+            // Sound exit, valid once best_diff <= tol: a diff win needs
+            // diff < best_diff - tol <= 0, impossible; a tie win needs
+            // a smaller total, and every future candidate's total is
+            // bounded below by f1 + f2 (new on both sides) or by
+            // 2*min(f1, f2) - best_diff - tol (new on one side, since
+            // its fixed-side delay must stay within best_diff + tol of
+            // the new label to tie on diff). No bound exists for diff
+            // wins while best_diff > tol -- that regime exits only via
+            // the stale-ring fallback below.
+            const bool no_total_win =
+                f1 + f2 - kMonoSlackPs > inc.best_total &&
+                2.0 * std::min(f1, f2) - inc.best_diff - inc.tol - kMonoSlackPs >
+                    inc.best_total;
+            if (inc.best_diff <= inc.tol && no_total_win) break;
+            // Fallback for imbalanced merges where the bounds stay
+            // open: stop after an improvement-free streak (the
+            // downstream binary search and rebalance absorb residual
+            // meet suboptimality).
+            stale_rings = improved ? 0 : stale_rings + 1;
+            if (stale_rings > kStaleRingLimit) break;
         }
     }
-    if (best_idx < 0) throw std::runtime_error("maze: no feasible meet cell");
+    if (inc.best_idx < 0) throw std::runtime_error("maze: no feasible meet cell");
 
-    const geom::Cell meet = grid.cell_at_index(best_idx);
+    const geom::Cell meet = grid.cell_at_index(inc.best_idx);
     MazeResult r;
     r.side1 = dp1.reconstruct(meet);
     r.side2 = dp2.reconstruct(meet);

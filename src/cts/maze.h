@@ -23,6 +23,7 @@
 
 #include "cts/options.h"
 #include "delaylib/delay_model.h"
+#include "delaylib/eval_cache.h"
 #include "geom/grid.h"
 #include "geom/point.h"
 
@@ -94,6 +95,12 @@ double max_feasible_run(const delaylib::DelayModel& model, int dtype, int ltype,
 std::optional<int> choose_buffer(const delaylib::DelayModel& model, int ltype, double run_um,
                                  double assumed_slew, double target_slew,
                                  bool intelligent_sizing);
+
+/// The calling thread's memoized evaluation cache, (re)bound to this
+/// model and these options. Pass-through (uncached) when
+/// `opt.use_eval_cache` is false, so call sites need no branching.
+delaylib::EvalCache& eval_cache_for(const delaylib::DelayModel& model,
+                                    const SynthesisOptions& opt);
 
 }  // namespace ctsim::cts
 

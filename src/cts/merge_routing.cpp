@@ -89,6 +89,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
 
     const double assumed = opt.assumed_slew();
     const int tmax = model.buffers().largest();
+    delaylib::EvalCache& ec = eval_cache_for(model, opt);
 
     // --- Balance stage ------------------------------------------------
     int ra = a, rb = b;
@@ -172,9 +173,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     const ChainTop ct1 = build_chain(tree, ra, mz.side1, cum1);
     const ChainTop ct2 = build_chain(tree, rb, mz.side2, cum2);
 
-    const auto run_limit = [&](int ltype) {
-        return max_feasible_run(model, tmax, ltype, assumed, opt.slew_target_ps, 1e9);
-    };
+    const auto run_limit = [&](int ltype) { return ec.max_feasible_run(tmax, ltype); };
 
     // Bufferize one free arm (from a chain top at polyline parameter
     // `from_w` toward the merge at parameter `w`): the merge position
@@ -190,8 +189,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         while (remaining > run_limit(arm.load_type) * 0.62) {
             const double step = run_limit(arm.load_type) * 0.58;
             pos_w += dir * step;
-            const auto t = choose_buffer(model, arm.load_type, step, assumed,
-                                         opt.slew_target_ps, opt.intelligent_sizing);
+            const auto t = ec.choose_buffer(arm.load_type, step);
             const int type = t.value_or(tmax);
             const int bnode = tree.add_buffer(line.at(pos_w), type);
             tree.connect(bnode, arm.top, step);
@@ -229,15 +227,12 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     };
     const auto isolate = [&](const Arm& arm) {
         IsolatedArm iso;
-        const auto t = choose_buffer(model, arm.load_type, arm.run, assumed,
-                                     opt.slew_target_ps, opt.intelligent_sizing);
+        const auto t = ec.choose_buffer(arm.load_type, arm.run);
         iso.btype = t.value_or(tmax);
         iso.child = arm.top;
         iso.child_load = arm.load_type;
         iso.wire_geo = std::max(arm.run, geom::manhattan(mpos, tree.node(arm.top).pos));
-        iso.wire_max = std::max(
-            iso.wire_geo,
-            max_feasible_run(model, iso.btype, arm.load_type, assumed, opt.slew_target_ps, 1e9));
+        iso.wire_max = std::max(iso.wire_geo, ec.max_feasible_run(iso.btype, arm.load_type));
         const double s0 = std::min(0.5 * (iso.wire_max - iso.wire_geo), 700.0);
         iso.buffer = tree.add_buffer(mpos, iso.btype);
         tree.connect(iso.buffer, arm.top, iso.wire_geo + std::max(0.0, s0));
@@ -261,9 +256,14 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     // [geometric, slew-limited] bounds; residuals beyond the trim
     // range are burned with snaking stages below the stage, then
     // trimmed again.
+    // Only the side whose knob moved last round needs re-timing; the
+    // other side's cached engine result is still exact.
+    RootTiming t1{}, t2{};
+    bool dirty1 = true, dirty2 = true;
     for (int round = 0; round < 8; ++round) {
-        const RootTiming t1 = subtree_timing(tree, iso1.buffer, model, assumed, true);
-        const RootTiming t2 = subtree_timing(tree, iso2.buffer, model, assumed, true);
+        if (dirty1) t1 = subtree_timing(tree, iso1.buffer, model, assumed, true);
+        if (dirty2) t2 = subtree_timing(tree, iso2.buffer, model, assumed, true);
+        dirty1 = dirty2 = false;
         const delaylib::BranchTiming bt =
             model.branch(tmax, gate1, gate2, assumed, 0.0, 0.0, 0.0);
         const double d0 =
@@ -275,6 +275,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         if (std::abs(d0) <= 0.5) break;
 
         IsolatedArm& fast = d0 > 0.0 ? iso2 : iso1;
+        bool& fast_dirty = d0 > 0.0 ? dirty2 : dirty1;
         // The stage the knob lives in: fast.buffer -> its direct child
         // (the chain top, or the top of a previously inserted snake).
         const int child = tree.node(fast.buffer).children[0];
@@ -285,14 +286,9 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         // grow past the stage's slew budget.
         const double lo_bound =
             std::max(geom::manhattan(tree.node(fast.buffer).pos, tree.node(child).pos), 0.0);
-        const double hi_bound = std::max(
-            lo_bound,
-            max_feasible_run(model, fast.btype, lc, assumed, opt.slew_target_ps, 1e9));
+        const double hi_bound = std::max(lo_bound, ec.max_feasible_run(fast.btype, lc));
 
-        const auto stage_delay = [&](double len) {
-            return model.buffer_delay(fast.btype, lc, assumed, len) +
-                   model.wire_delay(fast.btype, lc, assumed, len);
-        };
+        const auto stage_delay = [&](double len) { return ec.stage_delay(fast.btype, lc, len); };
         const auto d_at = [&](double len) {
             const double shift = stage_delay(len) - stage_delay(wc);
             return d0 > 0.0 ? d0 - shift : d0 + shift;
@@ -311,6 +307,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                     hi = mid;
             }
             tree.node(child).parent_wire_um = 0.5 * (lo + hi);
+            fast_dirty = true;
             rec.residual_diff_ps = std::abs(d_at(0.5 * (lo + hi)));
             // The stage-shift model is exact under assumed slews but
             // only approximate once slews propagate; go around again so
@@ -319,6 +316,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         }
         if (hi_bound > wc + 1.0 && std::abs(d_at(hi_bound)) < std::abs(d0)) {
             tree.node(child).parent_wire_um = hi_bound;
+            fast_dirty = true;
             rec.residual_diff_ps = std::abs(d_at(hi_bound));
             continue;
         }
@@ -336,6 +334,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         tree.connect(fast.buffer, sr.new_root,
                      std::max(mid_wire, geom::manhattan(tree.node(fast.buffer).pos,
                                                         tree.node(sr.new_root).pos)));
+        fast_dirty = true;
     }
 
     rec.merge_node = merge;

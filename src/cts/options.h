@@ -68,6 +68,26 @@ struct SynthesisOptions {
     /// Deterministic seed for tie-breaking / SeedPolicy::random.
     unsigned rng_seed{1};
 
+    // --- hot-path performance knobs ---------------------------------
+    /// Memoize delay-model evaluations (stage delay, end slew,
+    /// feasible runs, buffer choice) at the assumed slew, keyed on
+    /// quantized wire length. Off reproduces the unoptimized path.
+    bool use_eval_cache{true};
+    /// Length quantization step of the evaluation cache [um]. The
+    /// substitution error is bounded by quantum/2 times the delay
+    /// slope (well under 0.1 ps at the default).
+    double eval_cache_quantum_um{2.0};
+    /// Interleave the two maze fronts ring-by-ring and stop expanding
+    /// once no frontier label can beat the incumbent meet cell (plus a
+    /// small tolerance; see maze.cpp). Off reproduces the full-grid
+    /// seed expansion bit-for-bit.
+    bool maze_early_exit{true};
+    /// Worker threads for independent subtree merges within a level:
+    /// 1 = serial, 0 = one per hardware thread, n = exactly n.
+    /// Results are bit-for-bit identical across thread counts (merges
+    /// are routed in isolation and committed in pairing order).
+    int num_threads{1};
+
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;
     }

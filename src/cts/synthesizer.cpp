@@ -1,7 +1,11 @@
 #include "cts/synthesizer.h"
 
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "cts/parallel_merge.h"
+#include "util/thread_pool.h"
 
 namespace ctsim::cts {
 
@@ -32,6 +36,13 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     std::mt19937 rng(opt.rng_seed);
     HStructureContext hctx{&records, &timing};
 
+    // Merges within a level touch disjoint subtrees, so they can be
+    // routed concurrently; commits stay in pairing order, which makes
+    // the result bit-for-bit identical at every thread count.
+    const int nthreads = util::ThreadPool::resolve_thread_count(opt.num_threads);
+    std::unique_ptr<util::ThreadPool> pool;
+    if (nthreads > 1) pool = std::make_unique<util::ThreadPool>(nthreads);
+
     while (roots.size() > 1) {
         std::vector<LevelNode> level;
         level.reserve(roots.size());
@@ -40,18 +51,40 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
 
         const Pairing pairing = select_pairs(level, opt, rng);
 
-        std::vector<int> next;
-        next.reserve(pairing.pairs.size() + 1);
+        // H-structure checks re-route and mutate the shared tree, so
+        // they resolve the final pair list serially up front.
+        std::vector<std::pair<int, int>> pairs;
+        pairs.reserve(pairing.pairs.size());
         for (auto [u, v] : pairing.pairs) {
-            if (opt.hstructure != HStructureMode::off) {
+            if (opt.hstructure != HStructureMode::off)
                 std::tie(u, v) = hstructure_check(res.tree, u, v, hctx, model, opt,
                                                   res.hstats);
+            pairs.emplace_back(u, v);
+        }
+
+        std::vector<int> next;
+        next.reserve(pairs.size() + 1);
+        if (pool && pairs.size() > 1) {
+            std::vector<ExtractedMerge> jobs;
+            jobs.reserve(pairs.size());
+            for (auto [u, v] : pairs)
+                jobs.push_back(extract_merge(res.tree, u, v, timing.at(u), timing.at(v)));
+            pool->parallel_for(static_cast<int>(jobs.size()),
+                               [&](int i) { route_extracted(jobs[i], model, opt); });
+            for (const ExtractedMerge& j : jobs) {
+                const MergeRecord rec = commit_extracted(res.tree, j);
+                records[rec.merge_node] = rec;
+                timing[rec.merge_node] = rec.timing;
+                next.push_back(rec.merge_node);
             }
-            const MergeRecord rec =
-                merge_route(res.tree, u, v, timing.at(u), timing.at(v), model, opt);
-            records[rec.merge_node] = rec;
-            timing[rec.merge_node] = rec.timing;
-            next.push_back(rec.merge_node);
+        } else {
+            for (auto [u, v] : pairs) {
+                const MergeRecord rec =
+                    merge_route(res.tree, u, v, timing.at(u), timing.at(v), model, opt);
+                records[rec.merge_node] = rec;
+                timing[rec.merge_node] = rec.timing;
+                next.push_back(rec.merge_node);
+            }
         }
         if (pairing.seed >= 0) next.push_back(pairing.seed);
         roots = std::move(next);

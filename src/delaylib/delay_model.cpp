@@ -1,9 +1,15 @@
 #include "delaylib/delay_model.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 namespace ctsim::delaylib {
+
+std::uint64_t DelayModel::next_instance_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
 
 int DelayModel::load_type_for_cap(double cap_ff) const {
     int best = 0;

@@ -23,6 +23,8 @@
 #ifndef CTSIM_DELAYLIB_DELAY_MODEL_H
 #define CTSIM_DELAYLIB_DELAY_MODEL_H
 
+#include <cstdint>
+
 #include "tech/buffer_lib.h"
 #include "tech/technology.h"
 
@@ -42,8 +44,12 @@ class DelayModel {
     /// The model observes (does not own) the technology and the buffer
     /// library; both must outlive it. Passing temporaries dangles.
     DelayModel(const tech::Technology& tech, const tech::BufferLibrary& lib)
-        : tech_(&tech), lib_(&lib) {}
+        : tech_(&tech), lib_(&lib), instance_id_(next_instance_id()) {}
     virtual ~DelayModel() = default;
+
+    /// Process-unique id of this model instance. Caches key on it
+    /// rather than on the address, which the allocator may recycle.
+    std::uint64_t instance_id() const { return instance_id_; }
 
     DelayModel(const DelayModel&) = delete;
     DelayModel& operator=(const DelayModel&) = delete;
@@ -82,8 +88,11 @@ class DelayModel {
     }
 
   private:
+    static std::uint64_t next_instance_id();
+
     const tech::Technology* tech_;
     const tech::BufferLibrary* lib_;
+    std::uint64_t instance_id_{0};
 };
 
 }  // namespace ctsim::delaylib

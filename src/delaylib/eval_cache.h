@@ -1,0 +1,124 @@
+// Memoized delay-model evaluation for the synthesis hot path.
+//
+// The bottom-up router queries the delay model with a very regular
+// pattern: a fixed pessimistic input slew (the assumed slew of the
+// synthesis options), a small set of driver/load types, and wire
+// lengths that are sums of grid pitches. Re-evaluating the fitted
+// polynomial surfaces for every label relaxation dominates synthesis
+// time; this cache collapses those queries to a table lookup keyed on
+// (driver type, load type, quantized wire length).
+//
+// Quantization: lengths are rounded to the nearest multiple of
+// `quantum_um`. Because delay and slew are smooth in length (fitted
+// low-order polynomials), the substitution error is bounded by
+// (quantum/2) * max|d(delay)/d(len)| -- well under a tenth of a ps for
+// the default 2 um quantum. Pass `quantum_um <= 0` (or construct with
+// `enabled = false`) to make every call a transparent pass-through to
+// the underlying model, which is how the unoptimized reference path is
+// measured.
+//
+// The feasible-run and buffer-choice queries of the router
+// (`max_feasible_run`, `choose_buffer`) are memoized here as well:
+// the bisection behind max_feasible_run costs ~40 slew evaluations
+// and the seed re-ran it for every maze call.
+//
+// Instances are NOT thread-safe; use `thread_local_for` to get a
+// per-thread cache bound to a (model, options) configuration. Cached
+// values are purely functional in the key, so per-thread caches yield
+// bit-identical results regardless of query interleaving.
+#ifndef CTSIM_DELAYLIB_EVAL_CACHE_H
+#define CTSIM_DELAYLIB_EVAL_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "delaylib/delay_model.h"
+
+namespace ctsim::delaylib {
+
+class EvalCache {
+  public:
+    struct Config {
+        const DelayModel* model{nullptr};
+        double assumed_slew_ps{80.0};   ///< input slew of every cached query
+        double target_slew_ps{80.0};    ///< slew budget for feasible-run queries
+        double quantum_um{2.0};         ///< length quantization step
+        bool intelligent_sizing{true};  ///< buffer-choice policy
+        bool enabled{true};             ///< false = transparent pass-through
+
+        friend bool operator==(const Config& a, const Config& b) {
+            return a.model == b.model && a.assumed_slew_ps == b.assumed_slew_ps &&
+                   a.target_slew_ps == b.target_slew_ps && a.quantum_um == b.quantum_um &&
+                   a.intelligent_sizing == b.intelligent_sizing && a.enabled == b.enabled;
+        }
+    };
+
+    EvalCache() = default;
+    explicit EvalCache(const Config& cfg) { configure(cfg); }
+
+    /// (Re)bind the cache to a configuration, dropping entries when it
+    /// changed. Cheap when the configuration is unchanged.
+    void configure(const Config& cfg);
+    const Config& config() const { return cfg_; }
+
+    /// Length after quantization (identity when disabled).
+    double quantize(double len_um) const;
+
+    /// Single-wire queries at the assumed slew, quantized length.
+    double wire_delay(int d, int l, double len_um);
+    double wire_slew(int d, int l, double len_um);
+    /// buffer_delay + wire_delay of a full stage.
+    double stage_delay(int d, int l, double len_um);
+
+    /// Largest run driven by `d` into `l` holding the target slew
+    /// (memoized bisection; matches cts::max_feasible_run with its
+    /// default 4500 um domain cap).
+    double max_feasible_run(int d, int l);
+
+    /// Buffer type for committing a run of `len_um` into load `l`
+    /// (memoized; matches cts::choose_buffer). -1 encodes "no type
+    /// holds the target".
+    std::optional<int> choose_buffer(int l, double len_um);
+
+    /// Per-thread cache bound to `cfg`; reconfigured (and flushed) when
+    /// the configuration changes between calls on the same thread.
+    static EvalCache& thread_local_for(const Config& cfg);
+
+    /// Query counters, for tests and the perf harness.
+    struct Stats {
+        std::uint64_t hits{0};
+        std::uint64_t misses{0};
+    };
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Slot {
+        double wire_delay;
+        double wire_slew;
+        double stage_delay;
+        std::uint8_t filled;  // bit 0: wire_delay, bit 1: wire_slew, bit 2: stage_delay
+    };
+
+    int pair_index(int d, int l) const { return d * type_count_ + l; }
+    Slot& slot(int d, int l, double len_um);
+
+    Config cfg_{};
+    /// instance_id() of cfg_.model, captured while it was alive: the
+    /// allocator may hand a new model a freed model's address, and a
+    /// pointer-only staleness check would then serve the old model's
+    /// delays. (The stale pointer itself is never dereferenced.)
+    std::uint64_t model_id_{0};
+    int type_count_{0};
+    // Per (d, l) pair: slots indexed by round(len / quantum), grown on
+    // demand. Lengths beyond kMaxSlots * quantum fall through uncached.
+    static constexpr int kMaxSlots = 16384;
+    std::vector<std::vector<Slot>> slots_;
+    std::vector<double> feasible_run_;        // per (d, l); NaN = unfilled
+    std::vector<std::vector<std::int8_t>> choice_;  // per l, by quantized len; -2 unfilled
+    Stats stats_{};
+};
+
+}  // namespace ctsim::delaylib
+
+#endif  // CTSIM_DELAYLIB_EVAL_CACHE_H

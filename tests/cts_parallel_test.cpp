@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::random_sinks;
+
+SynthesisOptions opts(int threads) {
+    SynthesisOptions o;
+    o.slew_limit_ps = 100.0;
+    o.slew_target_ps = 80.0;
+    o.num_threads = threads;
+    return o;
+}
+
+void expect_identical(const SynthesisResult& a, const SynthesisResult& b) {
+    EXPECT_EQ(a.root, b.root);
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_EQ(a.buffer_count, b.buffer_count);
+    EXPECT_EQ(a.tree.size(), b.tree.size());
+    EXPECT_DOUBLE_EQ(a.wire_length_um, b.wire_length_um);
+    EXPECT_DOUBLE_EQ(a.root_timing.max_ps, b.root_timing.max_ps);
+    EXPECT_DOUBLE_EQ(a.root_timing.min_ps, b.root_timing.min_ps);
+    ASSERT_EQ(a.tree.size(), b.tree.size());
+    for (int i = 0; i < a.tree.size(); ++i) {
+        const TreeNode& na = a.tree.node(i);
+        const TreeNode& nb = b.tree.node(i);
+        ASSERT_EQ(na.kind, nb.kind) << "node " << i;
+        EXPECT_EQ(na.parent, nb.parent) << "node " << i;
+        EXPECT_EQ(na.children, nb.children) << "node " << i;
+        EXPECT_DOUBLE_EQ(na.parent_wire_um, nb.parent_wire_um) << "node " << i;
+        EXPECT_DOUBLE_EQ(na.pos.x, nb.pos.x) << "node " << i;
+        EXPECT_DOUBLE_EQ(na.pos.y, nb.pos.y) << "node " << i;
+        EXPECT_EQ(na.buffer_type, nb.buffer_type) << "node " << i;
+    }
+}
+
+TEST(ParallelSynth, BitForBitIdenticalToSerial) {
+    const auto sinks = random_sinks(48, 24000.0, 7);
+    const auto serial = synthesize(sinks, analytic(), opts(1));
+    const auto par2 = synthesize(sinks, analytic(), opts(2));
+    const auto par4 = synthesize(sinks, analytic(), opts(4));
+    expect_identical(serial, par2);
+    expect_identical(serial, par4);
+}
+
+TEST(ParallelSynth, HardwareThreadCountMatchesSerial) {
+    const auto sinks = random_sinks(30, 18000.0, 21);
+    const auto serial = synthesize(sinks, analytic(), opts(1));
+    const auto par = synthesize(sinks, analytic(), opts(0));  // 0 = hardware threads
+    expect_identical(serial, par);
+}
+
+TEST(ParallelSynth, IdenticalAcrossRepeatedRuns) {
+    // The pooled label grids and per-thread caches must not leak state
+    // between synthesize calls.
+    const auto sinks = random_sinks(24, 30000.0, 3);
+    const auto first = synthesize(sinks, analytic(), opts(3));
+    const auto second = synthesize(sinks, analytic(), opts(3));
+    expect_identical(first, second);
+}
+
+TEST(ParallelSynth, OddRootCountAndSeedPassthrough) {
+    // Odd sink counts exercise the seed-node passthrough interleaved
+    // with parallel commits.
+    const auto sinks = random_sinks(17, 15000.0, 5);
+    const auto serial = synthesize(sinks, analytic(), opts(1));
+    const auto par = synthesize(sinks, analytic(), opts(4));
+    expect_identical(serial, par);
+    EXPECT_EQ(serial.tree.sinks_below(serial.root).size(), 17u);
+}
+
+TEST(ParallelSynth, UnoptimizedFlagsStillWork) {
+    // The reference path (cache off, early exit off) must stay wired.
+    SynthesisOptions o = opts(2);
+    o.use_eval_cache = false;
+    o.maze_early_exit = false;
+    const auto sinks = random_sinks(12, 12000.0, 9);
+    const auto res = synthesize(sinks, analytic(), o);
+    res.tree.validate_subtree(res.root);
+    EXPECT_EQ(res.tree.sinks_below(res.root).size(), 12u);
+
+    SynthesisOptions serial_o = o;
+    serial_o.num_threads = 1;
+    expect_identical(res, synthesize(sinks, analytic(), serial_o));
+}
+
+}  // namespace
+}  // namespace ctsim::cts
