@@ -1,10 +1,14 @@
 // Synthesis perf harness: times the complexity_scaling /
-// table5_1-style instances under three configurations
+// table5_1-style instances under four configurations
 //
-//   seed       - evaluation cache off, early exit off, serial
-//                (bit-for-bit the pre-overhaul hot path)
-//   opt        - cache + early exit on, serial
-//   opt_par    - cache + early exit on, one thread per hardware thread
+//   seed        - evaluation cache off, early exit off, batch
+//                 re-timing, serial (the pre-overhaul algorithm;
+//                 refactors may shift it at float-ulp level)
+//   opt         - cache + early exit on, batch re-timing, serial
+//                 (the PR-1 optimized algorithm)
+//   incremental - opt + the IncrementalTiming engine (dirty-slew
+//                 propagation), serial: the current default
+//   incremental_parallel - incremental, one thread per hw thread
 //
 // and writes BENCH_synth.json next to the binary so the performance
 // trajectory is tracked from PR to PR. Exit status is nonzero when a
@@ -36,14 +40,15 @@ struct InstanceRow {
     std::string name;
     int sinks{0};
     double span_um{0.0};
-    ModeResult seed, opt, opt_par;
+    ModeResult seed, opt, incr, incr_par;
     bool parallel_identical{true};
 };
 
-cts::SynthesisOptions mode_options(bool optimized, int threads) {
+cts::SynthesisOptions mode_options(bool optimized, bool incremental, int threads) {
     cts::SynthesisOptions o;
     o.use_eval_cache = optimized;
     o.maze_early_exit = optimized;
+    o.use_incremental_timing = incremental;
     o.num_threads = threads;
     return o;
 }
@@ -72,17 +77,18 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     row.name = name;
     row.sinks = nsinks;
     row.span_um = span;
-    row.seed = run_mode(sinks, mode_options(false, 1));
-    row.opt = run_mode(sinks, mode_options(true, 1));
-    row.opt_par = run_mode(sinks, mode_options(true, 0));
-    row.parallel_identical = row.opt.wirelength_um == row.opt_par.wirelength_um &&
-                             row.opt.buffers == row.opt_par.buffers &&
-                             row.opt.skew_ps == row.opt_par.skew_ps &&
-                             row.opt.tree_nodes == row.opt_par.tree_nodes;
-    std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  par %7.3fs | "
-                "speedup %.2fx%s\n",
+    row.seed = run_mode(sinks, mode_options(false, false, 1));
+    row.opt = run_mode(sinks, mode_options(true, false, 1));
+    row.incr = run_mode(sinks, mode_options(true, true, 1));
+    row.incr_par = run_mode(sinks, mode_options(true, true, 0));
+    row.parallel_identical = row.incr.wirelength_um == row.incr_par.wirelength_um &&
+                             row.incr.buffers == row.incr_par.buffers &&
+                             row.incr.skew_ps == row.incr_par.skew_ps &&
+                             row.incr.tree_nodes == row.incr_par.tree_nodes;
+    std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
+                "par %7.3fs | opt->incr %.2fx%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
-                row.opt_par.seconds, row.seed.seconds / row.opt.seconds,
+                row.incr.seconds, row.incr_par.seconds, row.opt.seconds / row.incr.seconds,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -147,9 +153,12 @@ int main() {
                      r.name.c_str(), r.sinks, r.span_um);
         emit_mode(f, "seed", r.seed, true);
         emit_mode(f, "opt", r.opt, true);
-        emit_mode(f, "opt_parallel", r.opt_par, true);
+        emit_mode(f, "incremental", r.incr, true);
+        emit_mode(f, "incremental_parallel", r.incr_par, true);
         std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
                      r.seed.seconds / r.opt.seconds);
+        std::fprintf(f, "      \"speedup_opt_vs_incremental\": %.3f,\n",
+                     r.opt.seconds / r.incr.seconds);
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -159,13 +168,18 @@ int main() {
         std::fprintf(f, "  \"largest_complexity_scaling\": \"%s\",\n", largest->name.c_str());
         std::fprintf(f, "  \"largest_speedup_seed_vs_opt\": %.3f,\n",
                      largest->seed.seconds / largest->opt.seconds);
+        std::fprintf(f, "  \"largest_speedup_opt_vs_incremental\": %.3f,\n",
+                     largest->opt.seconds / largest->incr.seconds);
     }
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
 
     std::printf("\nwrote BENCH_synth.json\n");
-    if (largest)
+    if (largest) {
         std::printf("largest complexity_scaling speedup (seed -> opt): %.2fx\n",
                     largest->seed.seconds / largest->opt.seconds);
+        std::printf("largest complexity_scaling speedup (opt -> incremental): %.2fx\n",
+                    largest->opt.seconds / largest->incr.seconds);
+    }
     return all_identical ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "cts/incremental_timing.h"
 #include "cts/maze.h"
 
 namespace ctsim::cts {
@@ -102,6 +103,40 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
         // A zero-length trimmed stage still adds the buffer delay, so
         // progress is guaranteed; bail out defensively regardless.
         if (res.stages > 200) break;
+    }
+    return res;
+}
+
+PrebalanceResult prebalance(ClockTree& tree, int a, int b, const RootTiming& ta,
+                            const RootTiming& tb, const delaylib::DelayModel& model,
+                            const SynthesisOptions& opt, IncrementalTiming* engine) {
+    PrebalanceResult res;
+    res.root_a = a;
+    res.root_b = b;
+    res.ta = ta;
+    res.tb = tb;
+
+    const double assumed = opt.assumed_slew();
+    const auto time_root = [&](int root) {
+        return engine_subtree_timing(tree, root, model, assumed, engine);
+    };
+
+    const double dist = geom::manhattan(tree.node(a).pos, tree.node(b).pos);
+    const double reach = estimate_path_delay(model, dist, opt);
+    const double diff = ta.max_ps - tb.max_ps;
+    if (std::abs(diff) > 0.7 * reach + 1e-9) {
+        const double burn = std::abs(diff) - 0.5 * reach;
+        if (diff > 0.0) {  // b is faster: snake above b
+            const SnakeResult sr = snake_delay(tree, b, burn, model, opt);
+            res.root_b = sr.new_root;
+            res.snake_stages = sr.stages;
+            res.tb = time_root(sr.new_root);
+        } else {
+            const SnakeResult sr = snake_delay(tree, a, burn, model, opt);
+            res.root_a = sr.new_root;
+            res.snake_stages = sr.stages;
+            res.ta = time_root(sr.new_root);
+        }
     }
     return res;
 }

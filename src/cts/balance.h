@@ -12,9 +12,12 @@
 
 #include "cts/clock_tree.h"
 #include "cts/options.h"
+#include "cts/timing.h"
 #include "delaylib/delay_model.h"
 
 namespace ctsim::cts {
+
+class IncrementalTiming;  // incremental_timing.h; only a pointer crosses here
 
 /// Delay a routed path of length `dist_um` can contribute to one side
 /// (buffers at slew-limited intervals, pessimistic slew assumption).
@@ -34,6 +37,25 @@ struct SnakeResult {
 /// target. Returns the new (buffer) root.
 SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
                         const delaylib::DelayModel& model, const SynthesisOptions& opt);
+
+/// Outcome of the pre-route balance stage of one merge.
+struct PrebalanceResult {
+    int root_a{-1};  ///< possibly a new snake-stage root above `a`
+    int root_b{-1};
+    RootTiming ta;
+    RootTiming tb;
+    int snake_stages{0};
+};
+
+/// The balance stage of Sec 4.2.1 for a merge of `a` and `b`: when the
+/// delay difference exceeds the in-route balancing reach, snake above
+/// the faster root and re-time that side. Re-timing runs on `engine`
+/// when provided (the snake stages stack above a parentless root, so
+/// no invalidation is needed -- the engine picks up the new nodes
+/// lazily) and falls back to batch subtree_timing otherwise.
+PrebalanceResult prebalance(ClockTree& tree, int a, int b, const RootTiming& ta,
+                            const RootTiming& tb, const delaylib::DelayModel& model,
+                            const SynthesisOptions& opt, IncrementalTiming* engine);
 
 }  // namespace ctsim::cts
 

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cts/incremental_timing.h"
+
 namespace ctsim::cts {
 
 namespace {
@@ -82,7 +84,7 @@ struct Arm {
 
 MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                         const RootTiming& tb, const delaylib::DelayModel& model,
-                        const SynthesisOptions& opt) {
+                        const SynthesisOptions& opt, IncrementalTiming* engine) {
     MergeRecord rec;
     rec.left_root = a;
     rec.right_root = b;
@@ -91,26 +93,15 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     const int tmax = model.buffers().largest();
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
 
+    const auto time_root = [&](int root) {
+        return engine_subtree_timing(tree, root, model, assumed, engine);
+    };
+
     // --- Balance stage ------------------------------------------------
-    int ra = a, rb = b;
-    RootTiming tra = ta, trb = tb;
-    const double dist = geom::manhattan(tree.node(a).pos, tree.node(b).pos);
-    const double reach = estimate_path_delay(model, dist, opt);
-    const double diff = tra.max_ps - trb.max_ps;
-    if (std::abs(diff) > 0.7 * reach + 1e-9) {
-        const double burn = std::abs(diff) - 0.5 * reach;
-        if (diff > 0.0) {  // b is faster: snake above b
-            const SnakeResult sr = snake_delay(tree, rb, burn, model, opt);
-            rb = sr.new_root;
-            rec.snake_stages = sr.stages;
-            trb = subtree_timing(tree, rb, model, assumed, /*propagate=*/true);
-        } else {
-            const SnakeResult sr = snake_delay(tree, ra, burn, model, opt);
-            ra = sr.new_root;
-            rec.snake_stages = sr.stages;
-            tra = subtree_timing(tree, ra, model, assumed, /*propagate=*/true);
-        }
-    }
+    const PrebalanceResult pb = prebalance(tree, a, b, ta, tb, model, opt, engine);
+    const int ra = pb.root_a, rb = pb.root_b;
+    const RootTiming tra = pb.ta, trb = pb.tb;
+    rec.snake_stages = pb.snake_stages;
 
     // --- Routing stage --------------------------------------------------
     const RouteEndpoint ea = endpoint_for(tree, ra, tra, model, opt);
@@ -261,8 +252,8 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     RootTiming t1{}, t2{};
     bool dirty1 = true, dirty2 = true;
     for (int round = 0; round < 8; ++round) {
-        if (dirty1) t1 = subtree_timing(tree, iso1.buffer, model, assumed, true);
-        if (dirty2) t2 = subtree_timing(tree, iso2.buffer, model, assumed, true);
+        if (dirty1) t1 = time_root(iso1.buffer);
+        if (dirty2) t2 = time_root(iso2.buffer);
         dirty1 = dirty2 = false;
         const delaylib::BranchTiming bt =
             model.branch(tmax, gate1, gate2, assumed, 0.0, 0.0, 0.0);
@@ -307,6 +298,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                     hi = mid;
             }
             tree.node(child).parent_wire_um = 0.5 * (lo + hi);
+            if (engine) engine->wire_changed(child);
             fast_dirty = true;
             rec.residual_diff_ps = std::abs(d_at(0.5 * (lo + hi)));
             // The stage-shift model is exact under assumed slews but
@@ -316,6 +308,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         }
         if (hi_bound > wc + 1.0 && std::abs(d_at(hi_bound)) < std::abs(d0)) {
             tree.node(child).parent_wire_um = hi_bound;
+            if (engine) engine->wire_changed(child);
             fast_dirty = true;
             rec.residual_diff_ps = std::abs(d_at(hi_bound));
             continue;
@@ -334,11 +327,15 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
         tree.connect(fast.buffer, sr.new_root,
                      std::max(mid_wire, geom::manhattan(tree.node(fast.buffer).pos,
                                                         tree.node(sr.new_root).pos)));
+        // The snake nodes are fresh (never cached); the one stale
+        // component is fast.buffer's, which now drives sr.new_root
+        // over a re-centered wire.
+        if (engine) engine->wire_changed(sr.new_root);
         fast_dirty = true;
     }
 
     rec.merge_node = merge;
-    rec.timing = subtree_timing(tree, merge, model, assumed, /*propagate=*/true);
+    rec.timing = time_root(merge);
     return rec;
 }
 

@@ -26,9 +26,15 @@ struct MergeRecord {
     double residual_diff_ps{0.0};  ///< |d1-d2| left after binary search
 };
 
+/// Merge the subtrees rooted at `a` and `b`. When `engine` is given
+/// (an IncrementalTiming attached to `tree`), all re-timing runs
+/// through it and every tree edit is reported via the notification
+/// API; the engine's cached state is the cross-round and cross-level
+/// speedup of the synthesis loop. With `engine == nullptr` each
+/// re-time is a batch subtree analysis (the PR-1 behavior).
 MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                         const RootTiming& tb, const delaylib::DelayModel& model,
-                        const SynthesisOptions& opt);
+                        const SynthesisOptions& opt, IncrementalTiming* engine = nullptr);
 
 }  // namespace ctsim::cts
 

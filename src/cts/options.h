@@ -87,6 +87,21 @@ struct SynthesisOptions {
     /// Results are bit-for-bit identical across thread counts (merges
     /// are routed in isolation and committed in pairing order).
     int num_threads{1};
+    /// Drive the merge-time re-timing through cts::IncrementalTiming
+    /// (dirty-slew propagation) instead of batch subtree re-analysis.
+    /// Serial/parallel stays bit-for-bit identical (the engine is a
+    /// pure function of the subtree); ignored when an H-structure mode
+    /// is active (those re-pairings mutate the shared tree outside the
+    /// notification API). Off reproduces the batch-retimed hot path.
+    bool use_incremental_timing{true};
+    /// Slew quantization step of the incremental engine [ps]: slews
+    /// delivered to a component are snapped to multiples of this, so
+    /// re-propagation stops where the quantized slew is unchanged.
+    /// The substitution error per stage is bounded by quantum/2 times
+    /// the (sub-unity) delay sensitivity to input slew. <= 0 keeps
+    /// exact slews (early termination only on equal slews, which
+    /// reproduces the batch-retimed results bit-for-bit).
+    double timing_slew_quantum_ps{0.25};
 
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "cts/incremental_timing.h"
+
 namespace ctsim::cts {
 
 namespace {
@@ -63,7 +65,18 @@ ExtractedMerge extract_merge(const ClockTree& tree, int a, int b, const RootTimi
 void route_extracted(ExtractedMerge& m, const delaylib::DelayModel& model,
                      const SynthesisOptions& opt) {
     try {
-        m.record = merge_route(m.local, m.local_a, m.local_b, m.ta, m.tb, model, opt);
+        if (incremental_timing_enabled(opt)) {
+            // A fresh engine per private arena: no cross-level cache
+            // reuse here, but the cached values are pure functions of
+            // the subtree, so the numbers (and hence the committed
+            // structure) are bit-identical to the serial synthesizer's
+            // long-lived engine.
+            IncrementalTiming engine(m.local, model, synthesis_timing_options(opt));
+            m.record =
+                merge_route(m.local, m.local_a, m.local_b, m.ta, m.tb, model, opt, &engine);
+        } else {
+            m.record = merge_route(m.local, m.local_a, m.local_b, m.ta, m.tb, model, opt);
+        }
     } catch (...) {
         m.error = std::current_exception();
     }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "cts/incremental_timing.h"
 #include "cts/parallel_merge.h"
 #include "util/thread_pool.h"
 
@@ -14,8 +15,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     if (sinks.empty()) throw std::invalid_argument("synthesize: no sinks");
 
     SynthesisResult res;
-    res.source_buffer =
-        opt.source_buffer >= 0 ? opt.source_buffer : model.buffers().largest();
+    res.source_buffer = resolve_driver_type(opt.source_buffer, model);
 
     std::vector<int> roots;
     std::unordered_map<int, RootTiming> timing;
@@ -42,6 +42,21 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     const int nthreads = util::ThreadPool::resolve_thread_count(opt.num_threads);
     std::unique_ptr<util::ThreadPool> pool;
     if (nthreads > 1) pool = std::make_unique<util::ThreadPool>(nthreads);
+
+    // Persistent incremental engine on the shared tree: serial merges
+    // re-time through it, so lower levels stay cached across the whole
+    // run. It exists ONLY when no pool does: commit_extracted rewrites
+    // links of pre-existing nodes without engine notifications, so a
+    // long-lived engine must never coexist with parallel commits.
+    // Pooled runs instead build a fresh engine per merge -- in the
+    // extracted arenas (parallel_merge.cpp) and for the single-pair
+    // levels below -- and purity of the cached values keeps every path
+    // bit-for-bit identical.
+    const bool engine_on = incremental_timing_enabled(opt);
+    std::unique_ptr<IncrementalTiming> engine;
+    if (engine_on && !pool)
+        engine = std::make_unique<IncrementalTiming>(res.tree, model,
+                                                     synthesis_timing_options(opt));
 
     while (roots.size() > 1) {
         std::vector<LevelNode> level;
@@ -79,8 +94,15 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             }
         } else {
             for (auto [u, v] : pairs) {
-                const MergeRecord rec =
-                    merge_route(res.tree, u, v, timing.at(u), timing.at(v), model, opt);
+                IncrementalTiming* eng = engine.get();
+                std::unique_ptr<IncrementalTiming> per_merge;
+                if (engine_on && !eng) {
+                    per_merge = std::make_unique<IncrementalTiming>(
+                        res.tree, model, synthesis_timing_options(opt));
+                    eng = per_merge.get();
+                }
+                const MergeRecord rec = merge_route(res.tree, u, v, timing.at(u),
+                                                    timing.at(v), model, opt, eng);
                 records[rec.merge_node] = rec;
                 timing[rec.merge_node] = rec.timing;
                 next.push_back(rec.merge_node);

@@ -1,39 +1,32 @@
 #include "cts/timing.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <stdexcept>
 
+#include "cts/timing_detail.h"
+
 namespace ctsim::cts {
+
+namespace detail {
 
 namespace {
 
-/// Walker that evaluates components cut at buffer nodes.
-class Analyzer {
+/// Walker over ONE component: the maximal unbuffered region below a
+/// driver, cut at buffer inputs and sinks (the shapes of Sec 3.2).
+class ComponentWalker {
   public:
-    Analyzer(const ClockTree& tree, const delaylib::DelayModel& model, const TimingOptions& opt)
-        : tree_(tree), model_(model), opt_(opt) {
-        vdriver_ = opt.virtual_driver >= 0 ? opt.virtual_driver : model.buffers().largest();
-    }
+    ComponentWalker(const ClockTree& tree, const delaylib::DelayModel& model,
+                    bool propagate_slews, double pessimistic_slew_ps, ComponentEval& out)
+        : tree_(tree),
+          model_(model),
+          propagate_(propagate_slews),
+          pess_slew_(pessimistic_slew_ps),
+          out_(out) {}
 
-    TimingReport run(int root) {
-        report_ = TimingReport{};
-        report_.min_arrival_ps = std::numeric_limits<double>::max();
-        const TreeNode& r = tree_.node(root);
-        if (r.kind == NodeKind::sink) {
-            report_.sinks.push_back({root, 0.0, opt_.input_slew_ps});
-            report_.max_arrival_ps = 0.0;
-            report_.min_arrival_ps = 0.0;
-            report_.worst_slew_ps = opt_.input_slew_ps;
-            return report_;
-        }
-        if (r.kind == NodeKind::buffer) {
-            drive_component(root, r.buffer_type, opt_.input_slew_ps, 0.0, true);
-        } else {
-            drive_component(root, vdriver_, opt_.input_slew_ps, 0.0, false);
-        }
-        if (report_.sinks.empty()) report_.min_arrival_ps = 0.0;
-        return report_;
+    void run(int head, int dtype, double slew_in, bool real_buffer) {
+        drive_component(head, dtype, slew_in, 0.0, real_buffer);
     }
 
   private:
@@ -80,8 +73,8 @@ class Analyzer {
     }
 
     /// Evaluate the component whose driver sits at `driver_node`
-    /// (charging the buffer delay when `real_buffer`), then recurse
-    /// into the loads. `base` is the arrival at the driver's input.
+    /// (charging the buffer delay when `real_buffer`), then record the
+    /// loads. `base` is the arrival relative to the head's input.
     void drive_component(int driver_node, int dtype, double slew_in, double base,
                          bool real_buffer) {
         const TreeNode& d = tree_.node(driver_node);
@@ -89,7 +82,7 @@ class Analyzer {
         if (d.children.size() == 1) {
             const RunEnd run = follow_run(d.children[0]);
             if (!run.is_branch) {
-                eval_single(driver_node, dtype, slew_in, base, real_buffer, run);
+                eval_single(dtype, slew_in, base, real_buffer, run);
             } else {
                 eval_branch(dtype, slew_in, base, real_buffer, run.len, run.node);
             }
@@ -100,15 +93,14 @@ class Analyzer {
         }
     }
 
-    void eval_single(int driver_node, int dtype, double slew_in, double base, bool real_buffer,
+    void eval_single(int dtype, double slew_in, double base, bool real_buffer,
                      const RunEnd& run) {
-        (void)driver_node;
         const int ltype = load_type_of(run.node);
         const double bdel =
             real_buffer ? model_.buffer_delay(dtype, ltype, slew_in, run.len) : 0.0;
         const double wdel = model_.wire_delay(dtype, ltype, slew_in, run.len);
         const double wslew = model_.wire_slew(dtype, ltype, slew_in, run.len);
-        arrive(run.node, base + bdel + wdel, wslew, dtype);
+        arrive(run.node, base + bdel + wdel, wslew);
     }
 
     /// Branch at `branch_node` after a stem of `stem` um.
@@ -131,17 +123,17 @@ class Analyzer {
         descend(right, dtype, base + bdel + bt.delay_right_ps, bt.slew_right_ps);
     }
 
-    /// Handle a run end: either a proper load (recurse across the
-    /// buffer boundary / record the sink) or a nested branch, which is
-    /// outside the two canonical component shapes and is approximated
-    /// by re-rooting a virtual driver at the inner branch node.
+    /// Handle a run end: either a proper load (record it) or a nested
+    /// branch, which is outside the two canonical component shapes and
+    /// is approximated by re-rooting a virtual driver at the inner
+    /// branch node.
     void descend(const RunEnd& run, int dtype, double arrival, double slew) {
         if (!run.is_branch) {
-            arrive(run.node, arrival, slew, dtype);
+            arrive(run.node, arrival, slew);
             return;
         }
-        report_.worst_slew_ps = std::max(report_.worst_slew_ps, slew);
-        const double next_slew = opt_.propagate_slews ? slew : opt_.input_slew_ps;
+        out_.worst_slew_ps = std::max(out_.worst_slew_ps, slew);
+        const double next_slew = propagate_ ? slew : pess_slew_;
         eval_branch(dtype, next_slew, arrival, /*real_buffer=*/false, 0.0, run.node);
     }
 
@@ -151,19 +143,97 @@ class Analyzer {
             tree_.root_input_cap_ff(node, model_.technology(), model_.buffers()));
     }
 
-    void arrive(int node, double arrival, double slew, int upstream_driver) {
-        (void)upstream_driver;
-        report_.worst_slew_ps = std::max(report_.worst_slew_ps, slew);
-        const TreeNode& n = tree_.node(node);
-        if (n.kind == NodeKind::sink) {
-            report_.sinks.push_back({node, arrival, slew});
-            report_.max_arrival_ps = std::max(report_.max_arrival_ps, arrival);
-            report_.min_arrival_ps = std::min(report_.min_arrival_ps, arrival);
-            return;
+    void arrive(int node, double arrival, double slew) {
+        out_.worst_slew_ps = std::max(out_.worst_slew_ps, slew);
+        out_.loads.push_back(
+            {node, tree_.node(node).kind == NodeKind::sink, arrival, slew});
+    }
+
+    const ClockTree& tree_;
+    const delaylib::DelayModel& model_;
+    bool propagate_;
+    double pess_slew_;
+    ComponentEval& out_;
+};
+
+}  // namespace
+
+void eval_component(const ClockTree& tree, const delaylib::DelayModel& model, int head,
+                    int dtype, double slew_in, bool real_buffer, bool propagate_slews,
+                    double pessimistic_slew_ps, ComponentEval& out) {
+    out.clear();
+    ComponentWalker w(tree, model, propagate_slews, pessimistic_slew_ps, out);
+    w.run(head, dtype, slew_in, real_buffer);
+}
+
+}  // namespace detail
+
+int resolve_driver_type(int requested, const delaylib::DelayModel& model) {
+    return requested >= 0 ? requested : model.buffers().largest();
+}
+
+namespace {
+
+/// Per-thread component scratch, one slot per recursion depth, reused
+/// across analyze() calls so the batch path allocates nothing per
+/// component (a deque keeps shallower slots stable while deeper
+/// recursion grows it). Batch analysis stays the hot re-timing path
+/// for every engine-off configuration, so this matters.
+std::deque<detail::ComponentEval>& tls_component_scratch() {
+    static thread_local std::deque<detail::ComponentEval> scratch;
+    return scratch;
+}
+
+/// Batch driver over components: depth-first across buffer
+/// boundaries, exactly the seed Analyzer's traversal order.
+class Analyzer {
+  public:
+    Analyzer(const ClockTree& tree, const delaylib::DelayModel& model, const TimingOptions& opt)
+        : tree_(tree), model_(model), opt_(opt) {
+        vdriver_ = resolve_driver_type(opt.virtual_driver, model);
+    }
+
+    TimingReport run(int root) {
+        report_ = TimingReport{};
+        report_.min_arrival_ps = std::numeric_limits<double>::max();
+        const TreeNode& r = tree_.node(root);
+        if (r.kind == NodeKind::sink) {
+            report_.sinks.push_back({root, 0.0, opt_.input_slew_ps});
+            report_.max_arrival_ps = 0.0;
+            report_.min_arrival_ps = 0.0;
+            report_.worst_slew_ps = opt_.input_slew_ps;
+            return report_;
         }
-        // Buffer: next component.
-        const double next_slew = opt_.propagate_slews ? slew : opt_.input_slew_ps;
-        drive_component(node, n.buffer_type, next_slew, arrival, true);
+        if (r.kind == NodeKind::buffer) {
+            recurse(root, r.buffer_type, opt_.input_slew_ps, 0.0, true, 0);
+        } else {
+            recurse(root, vdriver_, opt_.input_slew_ps, 0.0, false, 0);
+        }
+        if (report_.sinks.empty()) report_.min_arrival_ps = 0.0;
+        return report_;
+    }
+
+  private:
+    void recurse(int head, int dtype, double slew_in, double base, bool real_buffer,
+                 std::size_t depth) {
+        std::deque<detail::ComponentEval>& scratch = tls_component_scratch();
+        if (depth >= scratch.size()) scratch.emplace_back();
+        detail::ComponentEval& ce = scratch[depth];  // eval_component clears it
+        detail::eval_component(tree_, model_, head, dtype, slew_in, real_buffer,
+                               opt_.propagate_slews, opt_.input_slew_ps, ce);
+        report_.worst_slew_ps = std::max(report_.worst_slew_ps, ce.worst_slew_ps);
+        for (const detail::ComponentLoad& ld : ce.loads) {
+            const double arrival = base + ld.delta_ps;
+            if (ld.is_sink) {
+                report_.sinks.push_back({ld.node, arrival, ld.slew_ps});
+                report_.max_arrival_ps = std::max(report_.max_arrival_ps, arrival);
+                report_.min_arrival_ps = std::min(report_.min_arrival_ps, arrival);
+                continue;
+            }
+            const double next_slew = opt_.propagate_slews ? ld.slew_ps : opt_.input_slew_ps;
+            recurse(ld.node, tree_.node(ld.node).buffer_type, next_slew, arrival, true,
+                    depth + 1);
+        }
     }
 
     const ClockTree& tree_;

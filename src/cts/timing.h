@@ -9,6 +9,37 @@
 //    the slew limit", Sec 4.2.2);
 //  * propagated: slews computed top-down from the source, the final
 //    accurate analysis.
+//
+// Batch analyze() below re-walks the whole subtree on every call and
+// is the REFERENCE ORACLE. The synthesis loop runs on
+// cts::IncrementalTiming (incremental_timing.h) instead, which caches
+// per-node component evaluations and re-propagates only the dirty
+// cone after an edit. The invalidation contract both engines share:
+//
+//   * A component is the maximal unbuffered region below one driver
+//     (a buffer node or an analysis root). Its evaluation is a pure
+//     function of (driver type, driver input slew, the region's wire
+//     lengths/structure, frontier buffer types and sink caps).
+//   * wire_changed(n) therefore dirties exactly the component that
+//     contains the wire above n -- headed by n's nearest buffer
+//     ancestor (or any evaluation root between n and that buffer) --
+//     and the subtree AGGREGATES of every node above it. Nothing at
+//     or below n is touched: n's own subtree did not change.
+//   * buffer_changed(n) additionally re-keys n's own component (the
+//     driver type is part of the cache signature) and dirties the
+//     component above n (n's input cap feeds its load type).
+//   * subtree_replaced(n) drops every cached state at or below n and
+//     dirties the containing component and ancestor aggregates.
+//   * Downward re-propagation after a dirty component re-evaluates a
+//     child component only when the slew delivered to it changed
+//     QUANTIZED: slews are snapped to multiples of a configurable
+//     quantum before evaluation, so the child's inputs -- and hence,
+//     by purity, its entire cached subtree aggregate -- are provably
+//     unchanged when the quantized slew key matches. That is what
+//     makes a trim-knob nudge re-time O(depth) nodes instead of
+//     O(subtree). With a zero quantum the early termination only
+//     fires on exactly equal slews and the incremental report matches
+//     analyze() to float-associativity (<1e-9 ps).
 #ifndef CTSIM_CTS_TIMING_H
 #define CTSIM_CTS_TIMING_H
 
@@ -43,6 +74,12 @@ struct TimingOptions {
     /// input_slew_ps (the pessimistic bottom-up assumption).
     bool propagate_slews{true};
 };
+
+/// Resolve a "-1 = largest type in the library" driver request (the
+/// TimingOptions::virtual_driver and SynthesisOptions::source_buffer
+/// convention). Kept in one place so every engine agrees on what the
+/// default virtual driver is.
+int resolve_driver_type(int requested, const delaylib::DelayModel& model);
 
 /// Analyze the subtree rooted at `root`. Arrivals are measured from
 /// the input of `root` (if `root` is a buffer, its delay is included;

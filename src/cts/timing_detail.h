@@ -1,0 +1,69 @@
+// Shared component-evaluation core of the timing engines.
+//
+// Both the batch analyzer (timing.cpp) and the incremental engine
+// (incremental_timing.cpp) cut the tree at buffer nodes into the
+// paper's two component shapes and evaluate one component at a time.
+// They MUST issue bit-identical delay-model queries for a given
+// component, or the incremental report could drift from the batch
+// oracle; keeping the walk in one place makes that equivalence
+// structural instead of aspirational.
+#ifndef CTSIM_CTS_TIMING_DETAIL_H
+#define CTSIM_CTS_TIMING_DETAIL_H
+
+#include <vector>
+
+#include "cts/clock_tree.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::cts::detail {
+
+/// One load at the frontier of a component: a buffer input or a sink.
+struct ComponentLoad {
+    int node{-1};
+    bool is_sink{false};
+    /// Arrival at the load relative to the component head's input
+    /// (includes the head's buffer delay when it was charged).
+    double delta_ps{0.0};
+    /// Raw (un-reset) slew at the load input. For sinks this is the
+    /// reported sink slew; for buffers the next component's input slew
+    /// in propagated mode.
+    double slew_ps{0.0};
+};
+
+/// Result of evaluating the component headed at one driver.
+struct ComponentEval {
+    /// Frontier loads in traversal order; batch analyze() visits the
+    /// loads (and therefore reports the sinks) in exactly this order.
+    std::vector<ComponentLoad> loads;
+    /// Max slew over every point inside the component: nested branch
+    /// ends and frontier loads.
+    double worst_slew_ps{0.0};
+
+    void clear() {
+        loads.clear();
+        worst_slew_ps = 0.0;
+    }
+};
+
+/// Evaluate the component whose driver sits at `head`, appending the
+/// frontier loads into `out` (cleared first).
+///  - `dtype`: driver type (the head's buffer type, or the resolved
+///    virtual driver for unbuffered heads);
+///  - `slew_in`: input slew at the head's driver;
+///  - `real_buffer`: charge the head's buffer delay;
+///  - `propagate_slews` / `pessimistic_slew_ps`: nested-branch
+///    fallback slew policy, mirroring TimingOptions (when not
+///    propagating, interior re-rooted drivers assume
+///    `pessimistic_slew_ps`).
+/// The result is a pure function of the unbuffered region below
+/// `head` (its wire lengths and structure), the frontier load types
+/// (buffer types / sink caps), and the scalar arguments -- the
+/// incremental engine's cache-validity contract depends on exactly
+/// this set of inputs.
+void eval_component(const ClockTree& tree, const delaylib::DelayModel& model, int head,
+                    int dtype, double slew_in, bool real_buffer, bool propagate_slews,
+                    double pessimistic_slew_ps, ComponentEval& out);
+
+}  // namespace ctsim::cts::detail
+
+#endif  // CTSIM_CTS_TIMING_DETAIL_H

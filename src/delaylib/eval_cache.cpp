@@ -44,7 +44,7 @@ EvalCache::Slot& EvalCache::slot(int d, int l, double len_um) {
     return row[idx];
 }
 
-double EvalCache::wire_delay(int d, int l, double len_um) {
+double EvalCache::wire_delay_slow(int d, int l, double len_um) {
     if (!cfg_.enabled || cfg_.quantum_um <= 0.0)
         return cfg_.model->wire_delay(d, l, cfg_.assumed_slew_ps, len_um);
     const double q = quantize(len_um);
@@ -59,7 +59,7 @@ double EvalCache::wire_delay(int d, int l, double len_um) {
     return s.wire_delay;
 }
 
-double EvalCache::wire_slew(int d, int l, double len_um) {
+double EvalCache::wire_slew_slow(int d, int l, double len_um) {
     if (!cfg_.enabled || cfg_.quantum_um <= 0.0)
         return cfg_.model->wire_slew(d, l, cfg_.assumed_slew_ps, len_um);
     const double q = quantize(len_um);
@@ -74,7 +74,7 @@ double EvalCache::wire_slew(int d, int l, double len_um) {
     return s.wire_slew;
 }
 
-double EvalCache::stage_delay(int d, int l, double len_um) {
+double EvalCache::stage_delay_slow(int d, int l, double len_um) {
     if (!cfg_.enabled || cfg_.quantum_um <= 0.0)
         return cfg_.model->buffer_delay(d, l, cfg_.assumed_slew_ps, len_um) +
                cfg_.model->wire_delay(d, l, cfg_.assumed_slew_ps, len_um);

@@ -29,6 +29,7 @@
 #ifndef CTSIM_DELAYLIB_EVAL_CACHE_H
 #define CTSIM_DELAYLIB_EVAL_CACHE_H
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -66,10 +67,32 @@ class EvalCache {
     double quantize(double len_um) const;
 
     /// Single-wire queries at the assumed slew, quantized length.
-    double wire_delay(int d, int l, double len_um);
-    double wire_slew(int d, int l, double len_um);
+    /// The maze router's label relaxation issues tens of millions of
+    /// these per synthesis, so the filled-slot hit path is inlined
+    /// here; misses (and the pass-through mode) take the out-of-line
+    /// slow path, which returns bit-identical values.
+    double wire_delay(int d, int l, double len_um) {
+        if (const Slot* s = hit_slot(d, l, len_um); s && (s->filled & 1)) {
+            ++stats_.hits;
+            return s->wire_delay;
+        }
+        return wire_delay_slow(d, l, len_um);
+    }
+    double wire_slew(int d, int l, double len_um) {
+        if (const Slot* s = hit_slot(d, l, len_um); s && (s->filled & 2)) {
+            ++stats_.hits;
+            return s->wire_slew;
+        }
+        return wire_slew_slow(d, l, len_um);
+    }
     /// buffer_delay + wire_delay of a full stage.
-    double stage_delay(int d, int l, double len_um);
+    double stage_delay(int d, int l, double len_um) {
+        if (const Slot* s = hit_slot(d, l, len_um); s && (s->filled & 4)) {
+            ++stats_.hits;
+            return s->stage_delay;
+        }
+        return stage_delay_slow(d, l, len_um);
+    }
 
     /// Largest run driven by `d` into `l` holding the target slew
     /// (memoized bisection; matches cts::max_feasible_run with its
@@ -102,6 +125,20 @@ class EvalCache {
 
     int pair_index(int d, int l) const { return d * type_count_ + l; }
     Slot& slot(int d, int l, double len_um);
+    /// Existing slot for a length already inside the grown table, or
+    /// nullptr (disabled cache, out-of-range index, unfilled rows).
+    /// Uses the same std::round quantization as slot(), so hit/miss
+    /// paths agree on the slot for every length.
+    const Slot* hit_slot(int d, int l, double len_um) const {
+        if (!cfg_.enabled || cfg_.quantum_um <= 0.0) return nullptr;
+        const auto& row = slots_[pair_index(d, l)];
+        const auto idx =
+            static_cast<std::size_t>(static_cast<int>(std::round(len_um / cfg_.quantum_um)));
+        return idx < row.size() ? &row[idx] : nullptr;
+    }
+    double wire_delay_slow(int d, int l, double len_um);
+    double wire_slew_slow(int d, int l, double len_um);
+    double stage_delay_slow(int d, int l, double len_um);
 
     Config cfg_{};
     /// instance_id() of cfg_.model, captured while it was alive: the

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,12 +54,22 @@ class ThreadPool {
     }
 
     /// Run fn(0) .. fn(n-1) across the pool, blocking until all
-    /// complete. `fn` must not throw (wrap and capture exceptions in
-    /// the caller's closure). Not reentrant.
+    /// complete. If any task throws, every remaining task still runs
+    /// (concurrent peers cannot be recalled, so the inline path
+    /// matches), and the exception of the LOWEST-INDEX failing task is
+    /// rethrown here -- deterministic at any thread count. The pool
+    /// stays usable afterwards. Not reentrant.
     void parallel_for(int n, const std::function<void(int)>& fn) {
         if (n <= 0) return;
+        error_ = nullptr;
+        error_index_ = -1;
         if (workers_.empty()) {
-            for (int i = 0; i < n; ++i) fn(i);
+            total_ = n;
+            job_ = &fn;
+            next_.store(0, std::memory_order_relaxed);
+            drain();
+            job_ = nullptr;
+            if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
             return;
         }
         {
@@ -75,6 +86,7 @@ class ThreadPool {
             return active_ == 0 && next_.load(std::memory_order_relaxed) >= total_;
         });
         job_ = nullptr;
+        if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
     }
 
   private:
@@ -82,7 +94,15 @@ class ThreadPool {
         for (;;) {
             const int i = next_.fetch_add(1, std::memory_order_relaxed);
             if (i >= total_) break;
-            (*job_)(i);
+            try {
+                (*job_)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_m_);
+                if (error_index_ < 0 || i < error_index_) {
+                    error_ = std::current_exception();
+                    error_index_ = i;
+                }
+            }
         }
     }
 
@@ -112,6 +132,9 @@ class ThreadPool {
     int active_{0};
     std::uint64_t generation_{0};
     bool stop_{false};
+    std::mutex err_m_;
+    std::exception_ptr error_{nullptr};
+    int error_index_{-1};
 };
 
 }  // namespace ctsim::util

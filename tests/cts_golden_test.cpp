@@ -1,0 +1,55 @@
+// Golden-report regression suite: per-instance solution-quality
+// snapshots for the complexity_scaling and die-span sweeps. Fails on
+// any drift beyond the stated tolerances.
+//
+// Tolerances are the kGolden* constants in golden_common.h (shared
+// with update_golden's dry run so tool and test always agree):
+// 0.1% wirelength, 0.25 ps skew, +-2 buffers, +-4 tree nodes.
+// An INTENTIONAL quality change must regenerate the snapshots with
+// `build/update_golden` and justify the diff in review.
+#include <gtest/gtest.h>
+
+#include "golden_common.h"
+
+namespace ctsim::testutil {
+namespace {
+
+class GoldenSweep : public testing::TestWithParam<GoldenInstance> {};
+
+TEST_P(GoldenSweep, MatchesSnapshot) {
+    const GoldenInstance& inst = GetParam();
+    GoldenRecord want;
+    ASSERT_TRUE(read_golden(inst, want))
+        << "missing/corrupt " << golden_path(inst)
+        << " -- regenerate with build/update_golden";
+    const GoldenRecord got = measure_golden(inst);
+
+    EXPECT_NEAR(got.wirelength_um, want.wirelength_um,
+                kGoldenWirelengthRelTol * want.wirelength_um)
+        << inst.name << ": wirelength drifted (update_golden if intentional)";
+    EXPECT_NEAR(got.skew_ps, want.skew_ps, kGoldenSkewAbsTolPs)
+        << inst.name << ": root skew drifted (update_golden if intentional)";
+    EXPECT_LE(std::abs(got.buffers - want.buffers), kGoldenBufferTol)
+        << inst.name << ": buffer count " << got.buffers << " vs golden " << want.buffers;
+    EXPECT_LE(std::abs(got.tree_nodes - want.tree_nodes), kGoldenTreeNodeTol)
+        << inst.name << ": tree size " << got.tree_nodes << " vs golden "
+        << want.tree_nodes;
+    EXPECT_FALSE(golden_drifted(got, want))
+        << inst.name << ": golden_drifted disagrees with the per-metric checks";
+}
+
+INSTANTIATE_TEST_SUITE_P(ComplexityAndSpanSweeps, GoldenSweep,
+                         testing::ValuesIn(golden_instances()),
+                         [](const testing::TestParamInfo<GoldenInstance>& info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(GoldenSuite, SnapshotFilesExistForEveryInstance) {
+    for (const GoldenInstance& inst : golden_instances()) {
+        GoldenRecord rec;
+        EXPECT_TRUE(read_golden(inst, rec)) << golden_path(inst);
+    }
+}
+
+}  // namespace
+}  // namespace ctsim::testutil

@@ -73,6 +73,21 @@ TEST(ParallelSynth, OddRootCountAndSeedPassthrough) {
     EXPECT_EQ(serial.tree.sinks_below(serial.root).size(), 17u);
 }
 
+TEST(ParallelSynth, BatchRetimingPathStaysIdenticalToSerial) {
+    // The batch re-timing branch (use_incremental_timing = false) is
+    // still live in shipped configurations -- any H-structure mode
+    // disables the engine while num_threads > 1 keeps routing merges
+    // through the pool -- so its bit-for-bit parallel determinism
+    // needs its own coverage now that the default path is incremental.
+    SynthesisOptions o = opts(3);
+    o.use_incremental_timing = false;
+    const auto sinks = random_sinks(36, 20000.0, 13);
+    SynthesisOptions serial_o = o;
+    serial_o.num_threads = 1;
+    expect_identical(synthesize(sinks, analytic(), serial_o),
+                     synthesize(sinks, analytic(), o));
+}
+
 TEST(ParallelSynth, UnoptimizedFlagsStillWork) {
     // The reference path (cache off, early exit off) must stay wired.
     SynthesisOptions o = opts(2);

@@ -104,6 +104,38 @@ TEST(Timing, UnbufferedRootUsesVirtualDriverWithoutBufferDelay) {
     EXPECT_NEAR(rep.skew_ps(), 0.0, 1e-9);
 }
 
+// Pins the "-1 = largest in the library" convention to one helper:
+// the timing analyzer, the incremental engine and the synthesizer's
+// source-buffer default all resolve through resolve_driver_type, so
+// this is THE definition of the virtual driver.
+TEST(Timing, ResolveDriverTypePinsLargestInLibrary) {
+    EXPECT_EQ(resolve_driver_type(-1, analytic()), buflib().largest());
+    EXPECT_EQ(resolve_driver_type(-1, analytic()), buflib().count() - 1);
+    EXPECT_EQ(resolve_driver_type(-7, analytic()), buflib().largest());  // any negative
+    for (int t = 0; t < buflib().count(); ++t)
+        EXPECT_EQ(resolve_driver_type(t, analytic()), t);  // explicit types pass through
+}
+
+TEST(Timing, DefaultVirtualDriverMatchesExplicitLargest) {
+    // analyze() with virtual_driver = -1 must equal analyze() with the
+    // resolved type spelled out.
+    ClockTree t;
+    const int m = t.add_merge({0, 0});
+    const int s1 = t.add_sink({-600, 0}, 14.0);
+    const int s2 = t.add_sink({900, 0}, 22.0);
+    t.connect(m, s1, 600.0);
+    t.connect(m, s2, 900.0);
+
+    TimingOptions by_default;
+    TimingOptions explicit_largest;
+    explicit_largest.virtual_driver = buflib().largest();
+    const TimingReport a = analyze(t, m, analytic(), by_default);
+    const TimingReport b = analyze(t, m, analytic(), explicit_largest);
+    ASSERT_EQ(a.sinks.size(), b.sinks.size());
+    for (std::size_t i = 0; i < a.sinks.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.sinks[i].arrival_ps, b.sinks[i].arrival_ps);
+}
+
 TEST(Timing, SinkRootIsTrivial) {
     ClockTree t;
     const int s = t.add_sink({3, 4}, 9.0);

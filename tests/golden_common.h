@@ -1,0 +1,160 @@
+// Golden-report snapshots: shared between cts_golden_test (compares)
+// and tools/update_golden.cpp (regenerates).
+//
+// A snapshot pins, per benchmark instance, the solution-quality
+// numbers of a default-options synthesis run: wirelength, buffer
+// count, tree size, and the honest root skew (batch analyze with
+// propagated slews -- NOT the engine's own report, so the pin is
+// independent of the incremental engine's internal representation).
+// Synthesis is deterministic, so same-platform drift is exactly zero;
+// the test tolerances absorb only compiler/libm variation. Any
+// intentional algorithm change must regenerate the files with
+// `build/update_golden` and justify the diff in review.
+#ifndef CTSIM_TESTS_GOLDEN_COMMON_H
+#define CTSIM_TESTS_GOLDEN_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_io/synthetic.h"
+#include "cts/timing.h"
+#include "tests/cts_test_util.h"
+
+namespace ctsim::testutil {
+
+struct GoldenInstance {
+    const char* name;
+    int sinks;
+    double span_um;
+    unsigned rng_seed;
+};
+
+/// The complexity_scaling sink-count and die-span sweep instances of
+/// bench/bench_synth_json (same generator, same seeds), capped at 400
+/// sinks so the suite stays fast under Debug + sanitizers.
+inline const std::vector<GoldenInstance>& golden_instances() {
+    static const std::vector<GoldenInstance> kInstances = {
+        {"scal_n100", 100, 40000.0, 11},
+        {"scal_n200", 200, 40000.0, 11},
+        {"scal_n400", 400, 40000.0, 11},
+        {"scal_span20", 400, 20000.0, 13},
+        {"scal_span80", 400, 80000.0, 13},
+    };
+    return kInstances;
+}
+
+struct GoldenRecord {
+    double wirelength_um{0.0};
+    double skew_ps{0.0};
+    int buffers{0};
+    int tree_nodes{0};
+};
+
+/// Drift tolerances, shared by cts_golden_test (the verdict) and
+/// update_golden's dry run (the preview) so the two can never
+/// disagree. Same-toolchain runs are exactly reproducible, so these
+/// are deliberately TIGHT: they absorb only sub-decision-level float
+/// noise. Synthesis is decision-chaotic -- a perturbation that flips
+/// one rebalance decision moves wirelength/skew far beyond any
+/// sensible band -- so a toolchain/libm bump that trips the suite is
+/// a legitimate regeneration event (`build/update_golden
+/// --update-golden`, with the diff justified in review), not a reason
+/// to widen the tolerances until they stop detecting regressions.
+inline constexpr double kGoldenWirelengthRelTol = 1e-3;
+inline constexpr double kGoldenSkewAbsTolPs = 0.25;
+inline constexpr int kGoldenBufferTol = 2;
+inline constexpr int kGoldenTreeNodeTol = 4;
+
+/// True when `got` drifted from `want` beyond the stated tolerances.
+inline bool golden_drifted(const GoldenRecord& got, const GoldenRecord& want) {
+    return std::abs(got.wirelength_um - want.wirelength_um) >
+               kGoldenWirelengthRelTol * want.wirelength_um ||
+           std::abs(got.skew_ps - want.skew_ps) > kGoldenSkewAbsTolPs ||
+           std::abs(got.buffers - want.buffers) > kGoldenBufferTol ||
+           std::abs(got.tree_nodes - want.tree_nodes) > kGoldenTreeNodeTol;
+}
+
+/// Directory holding the .golden files: the CTSIM_GOLDEN_DIR
+/// environment variable when set, else the compiled-in source path.
+inline std::string golden_dir() {
+    if (const char* env = std::getenv("CTSIM_GOLDEN_DIR")) return env;
+#ifdef CTSIM_GOLDEN_DIR
+    return CTSIM_GOLDEN_DIR;
+#else
+    return "tests/golden";
+#endif
+}
+
+inline std::string golden_path(const GoldenInstance& inst) {
+    return golden_dir() + "/" + inst.name + ".golden";
+}
+
+/// Synthesize one instance with default options (the configuration
+/// the golden suite pins) and measure it.
+inline GoldenRecord measure_golden(const GoldenInstance& inst) {
+    bench_io::BenchmarkSpec spec;
+    spec.name = inst.name;
+    spec.sink_count = inst.sinks;
+    spec.die_span_um = inst.span_um;
+    spec.seed = inst.rng_seed;
+    const auto sinks = bench_io::generate(spec);
+
+    cts::SynthesisOptions opt;  // defaults: the shipped configuration
+    const cts::SynthesisResult res = cts::synthesize(sinks, fitted_quick(), opt);
+
+    GoldenRecord rec;
+    rec.wirelength_um = res.wire_length_um;
+    rec.buffers = res.buffer_count;
+    rec.tree_nodes = res.tree.size();
+    const cts::RootTiming honest =
+        cts::subtree_timing(res.tree, res.root, fitted_quick(), opt.assumed_slew(),
+                            /*propagate=*/true);
+    rec.skew_ps = honest.max_ps - honest.min_ps;
+    return rec;
+}
+
+inline bool read_golden(const GoldenInstance& inst, GoldenRecord& out) {
+    std::ifstream in(golden_path(inst));
+    if (!in) return false;
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string key, value;
+        if (ls >> key >> value) kv[key] = value;
+    }
+    try {
+        out.wirelength_um = std::stod(kv.at("wirelength_um"));
+        out.skew_ps = std::stod(kv.at("skew_ps"));
+        out.buffers = std::stoi(kv.at("buffers"));
+        out.tree_nodes = std::stoi(kv.at("tree_nodes"));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+inline bool write_golden(const GoldenInstance& inst, const GoldenRecord& rec) {
+    std::ofstream out(golden_path(inst));
+    if (!out) return false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "# ctsim golden snapshot -- regenerate with build/update_golden\n"
+                  "name %s\nsinks %d\nspan_um %.0f\nrng_seed %u\n"
+                  "wirelength_um %.3f\nskew_ps %.6f\nbuffers %d\ntree_nodes %d\n",
+                  inst.name, inst.sinks, inst.span_um, inst.rng_seed, rec.wirelength_um,
+                  rec.skew_ps, rec.buffers, rec.tree_nodes);
+    out << buf;
+    return static_cast<bool>(out);
+}
+
+}  // namespace ctsim::testutil
+
+#endif  // CTSIM_TESTS_GOLDEN_COMMON_H

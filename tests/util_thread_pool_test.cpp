@@ -1,0 +1,104 @@
+// Edge cases of util::ThreadPool, until now only exercised indirectly
+// through the parallel synthesizer: degenerate thread counts, far more
+// tasks than threads, and exceptions escaping a task.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ctsim::util {
+namespace {
+
+TEST(ThreadPool, ZeroAndOneThreadRunInline) {
+    // `threads` counts the calling thread, so 0 and 1 both mean "no
+    // workers": everything runs inline on the caller.
+    for (int threads : {0, 1}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), 1);
+        std::vector<int> order;
+        pool.parallel_for(5, [&](int i) { order.push_back(i); });
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+    ThreadPool pool(3);
+    pool.parallel_for(0, [&](int) { FAIL() << "no task should run"; });
+    pool.parallel_for(-2, [&](int) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreadsRunExactlyOnce) {
+    ThreadPool pool(3);
+    constexpr int kTasks = 10000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallel_for(kTasks, [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < kTasks; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, ExceptionInTaskPropagatesLowestIndex) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    const auto throwing = [&](int i) {
+        ran.fetch_add(1);
+        if (i == 3 || i == 7) throw std::runtime_error("task " + std::to_string(i));
+    };
+    try {
+        pool.parallel_for(16, throwing);
+        FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+        // Deterministic at any thread count: the lowest failing index
+        // wins even if task 7 threw first on another worker.
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+    // All tasks still ran; a throw does not abandon the batch.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionInInlinePoolBehavesTheSame) {
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [&](int i) {
+                                       ran.fetch_add(1);
+                                       if (i == 2) throw std::logic_error("boom");
+                                   }),
+                 std::logic_error);
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(4, [](int) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    // The error state must not leak into the next batch.
+    std::atomic<int> sum{0};
+    pool.parallel_for(100, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950);
+    std::atomic<int> again{0};
+    pool.parallel_for(10, [&](int) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+    EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5);
+    EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);
+    EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);  // hardware default
+}
+
+TEST(ThreadPool, RepeatedBatchesKeepWorkersWarm) {
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> count{0};
+        pool.parallel_for(round + 1, [&](int) { count.fetch_add(1); });
+        ASSERT_EQ(count.load(), round + 1) << "round " << round;
+    }
+}
+
+}  // namespace
+}  // namespace ctsim::util
