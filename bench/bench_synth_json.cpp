@@ -1,5 +1,5 @@
 // Synthesis perf harness: times the complexity_scaling /
-// table5_1-style instances under four configurations
+// table5_1-style instances under five configurations
 //
 //   seed        - evaluation cache off, early exit off, batch
 //                 re-timing, serial (the pre-overhaul algorithm;
@@ -7,12 +7,19 @@
 //   opt         - cache + early exit on, batch re-timing, serial
 //                 (the PR-1 optimized algorithm)
 //   incremental - opt + the IncrementalTiming engine (dirty-slew
-//                 propagation), serial: the current default
-//   incremental_parallel - incremental, one thread per hw thread
+//                 propagation), serial, ring frontier (the PR-2
+//                 configuration, maze overhaul levers off)
+//   maze_c2f    - incremental + precomputed delay rows + bucketed
+//                 frontier + coarse-to-fine grid, serial: the
+//                 current shipped default
+//   maze_c2f_parallel - maze_c2f, one thread per hw thread
 //
 // and writes BENCH_synth.json next to the binary so the performance
-// trajectory is tracked from PR to PR. Exit status is nonzero when a
-// parallel run diverges from its serial twin (they must be identical).
+// trajectory is tracked from PR to PR. Each mode also records the
+// per-phase wall-clock split (maze vs balance vs timing, from
+// cts::profile) and the coarse-to-fine route/fallback counters.
+// Exit status is nonzero when a parallel run diverges from its
+// serial twin (they must be identical).
 //
 // Environment:
 //   CTSIM_BENCH_QUICK=1   drop the largest instances (CI smoke mode)
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cts/phase_profile.h"
 
 namespace {
 
@@ -34,30 +42,44 @@ struct ModeResult {
     int buffers{0};
     double skew_ps{0.0};
     int tree_nodes{0};
+    cts::profile::Snapshot phases;
 };
 
 struct InstanceRow {
     std::string name;
     int sinks{0};
     double span_um{0.0};
-    ModeResult seed, opt, incr, incr_par;
+    ModeResult seed, opt, incr, c2f, c2f_par;
     bool parallel_identical{true};
 };
 
-cts::SynthesisOptions mode_options(bool optimized, bool incremental, int threads) {
+enum class Mode { seed, opt, incremental, maze_c2f };
+
+cts::SynthesisOptions mode_options(Mode m, int threads) {
     cts::SynthesisOptions o;
+    const bool optimized = m != Mode::seed;
     o.use_eval_cache = optimized;
     o.maze_early_exit = optimized;
-    o.use_incremental_timing = incremental;
+    o.use_incremental_timing = m == Mode::incremental || m == Mode::maze_c2f;
+    // The maze-overhaul levers are the delta of the maze_c2f column;
+    // the historical columns pin the PR-2 ring-frontier router.
+    const bool overhaul = m == Mode::maze_c2f;
+    o.maze_delay_rows = overhaul;
+    o.maze_bucket_frontier = overhaul;
+    o.maze_coarse_to_fine = overhaul;
     o.num_threads = threads;
     return o;
 }
 
 ModeResult run_mode(const std::vector<cts::SinkSpec>& sinks, const cts::SynthesisOptions& o) {
     ModeResult r;
+    cts::profile::enable(true);
+    cts::profile::reset();
     const auto t0 = std::chrono::steady_clock::now();
     const cts::SynthesisResult res = cts::synthesize(sinks, bench::fitted(), o);
     r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    r.phases = cts::profile::snapshot();
+    cts::profile::enable(false);
     r.wirelength_um = res.wire_length_um;
     r.buffers = res.buffer_count;
     r.skew_ps = res.root_timing.max_ps - res.root_timing.min_ps;
@@ -77,18 +99,20 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     row.name = name;
     row.sinks = nsinks;
     row.span_um = span;
-    row.seed = run_mode(sinks, mode_options(false, false, 1));
-    row.opt = run_mode(sinks, mode_options(true, false, 1));
-    row.incr = run_mode(sinks, mode_options(true, true, 1));
-    row.incr_par = run_mode(sinks, mode_options(true, true, 0));
-    row.parallel_identical = row.incr.wirelength_um == row.incr_par.wirelength_um &&
-                             row.incr.buffers == row.incr_par.buffers &&
-                             row.incr.skew_ps == row.incr_par.skew_ps &&
-                             row.incr.tree_nodes == row.incr_par.tree_nodes;
+    row.seed = run_mode(sinks, mode_options(Mode::seed, 1));
+    row.opt = run_mode(sinks, mode_options(Mode::opt, 1));
+    row.incr = run_mode(sinks, mode_options(Mode::incremental, 1));
+    row.c2f = run_mode(sinks, mode_options(Mode::maze_c2f, 1));
+    row.c2f_par = run_mode(sinks, mode_options(Mode::maze_c2f, 0));
+    row.parallel_identical = row.c2f.wirelength_um == row.c2f_par.wirelength_um &&
+                             row.c2f.buffers == row.c2f_par.buffers &&
+                             row.c2f.skew_ps == row.c2f_par.skew_ps &&
+                             row.c2f.tree_nodes == row.c2f_par.tree_nodes;
     std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
-                "par %7.3fs | opt->incr %.2fx%s\n",
+                "c2f %7.3fs  par %7.3fs | incr->c2f %.2fx%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
-                row.incr.seconds, row.incr_par.seconds, row.opt.seconds / row.incr.seconds,
+                row.incr.seconds, row.c2f.seconds, row.c2f_par.seconds,
+                row.incr.seconds / row.c2f.seconds,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -97,8 +121,17 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
 void emit_mode(std::FILE* f, const char* key, const ModeResult& m, bool trailing_comma) {
     std::fprintf(f,
                  "      \"%s\": {\"seconds\": %.6f, \"wirelength_um\": %.3f, "
-                 "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d}%s\n",
+                 "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d,\n"
+                 "        \"phases\": {\"maze_s\": %.6f, \"balance_s\": %.6f, "
+                 "\"timing_s\": %.6f},\n"
+                 "        \"maze_calls\": %llu, \"c2f_coarse\": %llu, "
+                 "\"c2f_refined\": %llu, \"c2f_fallbacks\": %llu}%s\n",
                  key, m.seconds, m.wirelength_um, m.buffers, m.skew_ps, m.tree_nodes,
+                 m.phases.maze_s, m.phases.balance_s, m.phases.timing_s,
+                 static_cast<unsigned long long>(m.phases.maze_calls),
+                 static_cast<unsigned long long>(m.phases.c2f_coarse_routes),
+                 static_cast<unsigned long long>(m.phases.c2f_refined),
+                 static_cast<unsigned long long>(m.phases.c2f_fallbacks),
                  trailing_comma ? "," : "");
 }
 
@@ -109,10 +142,24 @@ int main() {
     const bool quick = std::getenv("CTSIM_BENCH_QUICK") != nullptr;
 
     (void)bench::fitted();  // pay characterization/load outside the timers
+    {
+        // Pay the one-time delay-row prefill (maze_rows.h; built once
+        // per process and shared across threads) outside the timers
+        // as well: it amortizes across a whole production run, and
+        // folding it into the first (smallest) instance would
+        // misprice that row.
+        bench_io::BenchmarkSpec warm;
+        warm.name = "warmup";
+        warm.sink_count = 40;
+        warm.die_span_um = 10000.0;
+        warm.seed = 1;
+        const auto sinks = bench_io::generate(warm);
+        (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::maze_c2f, 1));
+    }
 
     std::vector<InstanceRow> rows;
     // complexity_scaling sink-count sweep (die 40 mm), seed 11 -- the
-    // largest instance is the acceptance metric of the overhaul PR.
+    // largest instance is the acceptance metric of the overhaul PRs.
     for (int n : {100, 200, 400, 800, 1600, 3200}) {
         if (quick && n > 400) continue;
         rows.push_back(run_instance("scal_n" + std::to_string(n), n, 40000.0, 11));
@@ -154,11 +201,14 @@ int main() {
         emit_mode(f, "seed", r.seed, true);
         emit_mode(f, "opt", r.opt, true);
         emit_mode(f, "incremental", r.incr, true);
-        emit_mode(f, "incremental_parallel", r.incr_par, true);
+        emit_mode(f, "maze_c2f", r.c2f, true);
+        emit_mode(f, "maze_c2f_parallel", r.c2f_par, true);
         std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
                      r.seed.seconds / r.opt.seconds);
         std::fprintf(f, "      \"speedup_opt_vs_incremental\": %.3f,\n",
                      r.opt.seconds / r.incr.seconds);
+        std::fprintf(f, "      \"speedup_incremental_vs_maze_c2f\": %.3f,\n",
+                     r.incr.seconds / r.c2f.seconds);
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -170,6 +220,8 @@ int main() {
                      largest->seed.seconds / largest->opt.seconds);
         std::fprintf(f, "  \"largest_speedup_opt_vs_incremental\": %.3f,\n",
                      largest->opt.seconds / largest->incr.seconds);
+        std::fprintf(f, "  \"largest_speedup_incremental_vs_maze_c2f\": %.3f,\n",
+                     largest->incr.seconds / largest->c2f.seconds);
     }
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
@@ -180,6 +232,11 @@ int main() {
                     largest->seed.seconds / largest->opt.seconds);
         std::printf("largest complexity_scaling speedup (opt -> incremental): %.2fx\n",
                     largest->opt.seconds / largest->incr.seconds);
+        std::printf("largest complexity_scaling speedup (incremental -> maze_c2f): %.2fx\n",
+                    largest->incr.seconds / largest->c2f.seconds);
+        std::printf("maze/balance/timing split (maze_c2f): %.3f / %.3f / %.3f s\n",
+                    largest->c2f.phases.maze_s, largest->c2f.phases.balance_s,
+                    largest->c2f.phases.timing_s);
     }
     return all_identical ? 0 : 1;
 }

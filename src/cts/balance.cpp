@@ -6,6 +6,7 @@
 
 #include "cts/incremental_timing.h"
 #include "cts/maze.h"
+#include "cts/phase_profile.h"
 
 namespace ctsim::cts {
 
@@ -27,6 +28,7 @@ double estimate_path_delay(const delaylib::DelayModel& model, double dist_um,
 
 SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
                         const delaylib::DelayModel& model, const SynthesisOptions& opt) {
+    profile::ScopedPhase phase(profile::Phase::balance);
     SnakeResult res;
     res.new_root = root;
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
@@ -110,6 +112,7 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
 PrebalanceResult prebalance(ClockTree& tree, int a, int b, const RootTiming& ta,
                             const RootTiming& tb, const delaylib::DelayModel& model,
                             const SynthesisOptions& opt, IncrementalTiming* engine) {
+    profile::ScopedPhase phase(profile::Phase::balance);
     PrebalanceResult res;
     res.root_a = a;
     res.root_b = b;
@@ -118,6 +121,7 @@ PrebalanceResult prebalance(ClockTree& tree, int a, int b, const RootTiming& ta,
 
     const double assumed = opt.assumed_slew();
     const auto time_root = [&](int root) {
+        profile::ScopedPhase tphase(profile::Phase::timing);
         return engine_subtree_timing(tree, root, model, assumed, engine);
     };
 

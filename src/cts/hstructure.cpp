@@ -6,6 +6,8 @@
 #include <limits>
 #include <optional>
 
+#include "cts/incremental_timing.h"
+
 namespace ctsim::cts {
 
 namespace {
@@ -17,14 +19,26 @@ struct Attachment {
     double wire{0.0};
 };
 
-Attachment detach(ClockTree& tree, int child) {
+/// Detach notifies BEFORE the disconnect so the engine can still walk
+/// the parent chain: the component containing the wire above `child`
+/// and every ancestor aggregate go stale. (The child's own subtree is
+/// untouched by the move, but subtree_replaced is the notification
+/// whose contract covers arbitrary structural change, and ablation
+/// runs are not hot enough to justify a narrower promise.)
+Attachment detach(ClockTree& tree, int child, IncrementalTiming* engine) {
     Attachment a{child, tree.node(child).parent, tree.node(child).parent_wire_um};
+    if (engine) engine->subtree_replaced(child);
     tree.disconnect(child);
     return a;
 }
 
-void reattach(ClockTree& tree, const Attachment& a) {
+/// Reattach notifies AFTER the connect: the child's subtree is intact
+/// (its cached aggregates stay warm), so only the new containing
+/// component and the aggregates above it need dirtying -- exactly
+/// wire_changed's footprint.
+void reattach(ClockTree& tree, const Attachment& a, IncrementalTiming* engine) {
     tree.connect(a.parent, a.child, a.wire);
+    if (engine) engine->wire_changed(a.child);
 }
 
 double skew_of(const RootTiming& t) { return t.max_ps - t.min_ps; }
@@ -33,7 +47,8 @@ double skew_of(const RootTiming& t) { return t.max_ps - t.min_ps; }
 
 std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureContext ctx,
                                      const delaylib::DelayModel& model,
-                                     const SynthesisOptions& opt, HStructureStats& stats) {
+                                     const SynthesisOptions& opt, HStructureStats& stats,
+                                     IncrementalTiming* engine) {
     if (opt.hstructure == HStructureMode::off) return {u, v};
     const auto ru = ctx.records->find(u);
     const auto rv = ctx.records->find(v);
@@ -76,10 +91,12 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
         }
         if (best == 0) return {u, v};
         stats.flips += 1;
-        for (int child : {a, b, c, d}) detach(tree, child);
+        for (int child : {a, b, c, d}) detach(tree, child, engine);
         const auto& q = pairings[best];
-        const MergeRecord m1 = merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt);
-        const MergeRecord m2 = merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt);
+        const MergeRecord m1 =
+            merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine);
+        const MergeRecord m2 =
+            merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine);
         return commit(m1, m2);
     }
 
@@ -93,8 +110,9 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
         double score{0.0};
     };
 
-    const std::array<Attachment, 4> original = {detach(tree, a), detach(tree, b),
-                                                detach(tree, c), detach(tree, d)};
+    const std::array<Attachment, 4> original = {
+        detach(tree, a, engine), detach(tree, b, engine), detach(tree, c, engine),
+        detach(tree, d, engine)};
 
     int best = 0;
     double best_score = std::max(skew_of(ru->second.timing), skew_of(rv->second.timing));
@@ -102,12 +120,12 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
     for (int p = 1; p < 3; ++p) {
         const auto& q = pairings[p];
         Candidate cd;
-        cd.m1 = merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt);
-        cd.att[0] = detach(tree, q[0]);
-        cd.att[1] = detach(tree, q[1]);
-        cd.m2 = merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt);
-        cd.att[2] = detach(tree, q[2]);
-        cd.att[3] = detach(tree, q[3]);
+        cd.m1 = merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine);
+        cd.att[0] = detach(tree, q[0], engine);
+        cd.att[1] = detach(tree, q[1], engine);
+        cd.m2 = merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine);
+        cd.att[2] = detach(tree, q[2], engine);
+        cd.att[3] = detach(tree, q[3], engine);
         cd.score = std::max(skew_of(cd.m1.timing), skew_of(cd.m2.timing));
         if (cd.score + 1e-12 < best_score) {
             best_score = cd.score;
@@ -117,11 +135,11 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
     }
 
     if (best == 0) {
-        for (const Attachment& s : original) reattach(tree, s);
+        for (const Attachment& s : original) reattach(tree, s, engine);
         return {u, v};
     }
     stats.flips += 1;
-    for (const Attachment& s : cand[best]->att) reattach(tree, s);
+    for (const Attachment& s : cand[best]->att) reattach(tree, s, engine);
     return commit(cand[best]->m1, cand[best]->m2);
 }
 

@@ -128,10 +128,12 @@ inline IncrementalTiming::Options synthesis_timing_options(const SynthesisOption
 }
 
 /// Whether the synthesis loop attaches engines at all. H-structure
-/// re-pairings detach/reattach subtrees on the shared tree outside
-/// the notification API, so those modes stay on batch re-timing.
+/// re-pairings detach/reattach subtrees on the shared tree; since
+/// hstructure_check reports every such move through the notification
+/// API (subtree_replaced before a detach, wire_changed after a
+/// reattach), ablation modes keep the engine speedup too.
 inline bool incremental_timing_enabled(const SynthesisOptions& opt) {
-    return opt.use_incremental_timing && opt.hstructure == HStructureMode::off;
+    return opt.use_incremental_timing;
 }
 
 /// The single engine-or-batch re-timing dispatch of the synthesis

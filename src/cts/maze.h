@@ -15,6 +15,35 @@
 // The merge cell is the one minimizing the delay difference of the
 // two sides ("the grid with minimum delay difference (minimum skew)
 // can be picked as a tentative merger location").
+//
+// Engine contracts (mirroring the invalidation contract of timing.h):
+//
+//   * Precomputed-row quantization (maze_rows.h, on with
+//     `maze_delay_rows`): the relax loop reads stage-delay /
+//     feasible-run / buffer-choice values from per-(driver, load)
+//     arrays indexed by round(len / eval_cache_quantum_um) -- the
+//     exact EvalCache slot rule, with every entry pre-filled THROUGH
+//     the cache. Enabling the rows therefore changes no routing
+//     decision and no emitted number relative to routing through the
+//     cache; it only removes the per-relaxation probe overhead.
+//     Lengths outside a row's domain fall back to the cache.
+//   * Sparse bucketed frontier (`maze_bucket_frontier`): labels
+//     expand best-first from a monotone bucket queue over quantized
+//     path cost instead of the dense ring sweep. Path cost is
+//     monotone along staircase edges up to the fitted surfaces'
+//     kMazeMonoSlackPs noise, so bucket floors (minus that slack)
+//     lower-bound every future label and the incumbent meet prunes
+//     whole buckets. Meets agree with the dense sweep's within
+//     kMazeMeetTolPs + 2 * kMazeMonoSlackPs (the binary-search stage
+//     and the engine-driven rebalance absorb the residual).
+//   * Coarse-to-fine grid (`maze_coarse_to_fine`): large merges route
+//     first on a ~5x-coarser grid over the same region, then refine
+//     at full resolution inside a corridor around the coarse path.
+//     FALLBACK: when the coarse pass finds no meet (a coarse pitch
+//     can exceed every buffer's feasible run) or the corridor route
+//     fails, the router silently re-routes on the plain full grid --
+//     maze_route never degrades its result availability, only its
+//     speed. Both conditions are counted in profile::Snapshot.
 #ifndef CTSIM_CTS_MAZE_H
 #define CTSIM_CTS_MAZE_H
 
@@ -28,6 +57,16 @@
 #include "geom/point.h"
 
 namespace ctsim::cts {
+
+/// Slack absorbing non-monotonicity of the fitted delay surfaces in
+/// the router's frontier lower bounds [ps].
+inline constexpr double kMazeMonoSlackPs = 2.0;
+/// Meet-diff tolerance of the early-exit paths [ps]. One grid step
+/// changes a side's delay by a few ps, so sub-grid-step diffs are
+/// noise; the binary-search stage then slides the merge continuously
+/// along the free segment and the engine-driven rebalance trims the
+/// rest, so meet choices within this band are interchangeable.
+inline constexpr double kMazeMeetTolPs = 5.0;
 
 /// A committed buffer along one routed path.
 struct PathBuffer {

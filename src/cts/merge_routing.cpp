@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "cts/incremental_timing.h"
+#include "cts/phase_profile.h"
 
 namespace ctsim::cts {
 
@@ -94,6 +95,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
 
     const auto time_root = [&](int root) {
+        profile::ScopedPhase phase(profile::Phase::timing);
         return engine_subtree_timing(tree, root, model, assumed, engine);
     };
 
@@ -112,6 +114,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     const std::vector<double> cum2 = trace_cum(mz.side2);
 
     // --- Binary search stage (Fig 4.5): initial split -------------------
+    profile::ScopedPhase balance_phase(profile::Phase::balance);
     // Free polyline between the last fixed nodes v1 and v2 through the
     // meet cell.
     const int v1_idx = mz.side1.buffers.empty() ? 0 : mz.side1.buffers.back().trace_index;

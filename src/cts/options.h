@@ -82,6 +82,23 @@ struct SynthesisOptions {
     /// small tolerance; see maze.cpp). Off reproduces the full-grid
     /// seed expansion bit-for-bit.
     bool maze_early_exit{true};
+    /// Hoist the relax loop's delay-model queries into per-(driver,
+    /// load) rows pre-filled at quantized run lengths (maze_rows.h).
+    /// Entries are bit-identical to EvalCache lookups, so toggling
+    /// this cannot change any routing decision; it only removes the
+    /// per-relaxation cache probes. Requires use_eval_cache.
+    bool maze_delay_rows{true};
+    /// Expand maze labels best-first from a monotone bucket queue over
+    /// quantized path cost instead of the dense ring-by-ring sweep, so
+    /// only live labels are touched and the incumbent bound prunes
+    /// whole buckets. Off reproduces the ring sweep. Requires
+    /// maze_early_exit (the full-grid reference path stays dense).
+    bool maze_bucket_frontier{true};
+    /// Route merges on a ~5x-coarser grid first, then refine at full
+    /// resolution inside a corridor around the coarse path; falls back
+    /// to the full grid when the coarse pass or the corridor route is
+    /// infeasible (see maze.h). Requires maze_early_exit.
+    bool maze_coarse_to_fine{true};
     /// Worker threads for independent subtree merges within a level:
     /// 1 = serial, 0 = one per hardware thread, n = exactly n.
     /// Results are bit-for-bit identical across thread counts (merges
@@ -90,9 +107,10 @@ struct SynthesisOptions {
     /// Drive the merge-time re-timing through cts::IncrementalTiming
     /// (dirty-slew propagation) instead of batch subtree re-analysis.
     /// Serial/parallel stays bit-for-bit identical (the engine is a
-    /// pure function of the subtree); ignored when an H-structure mode
-    /// is active (those re-pairings mutate the shared tree outside the
-    /// notification API). Off reproduces the batch-retimed hot path.
+    /// pure function of the subtree). H-structure re-pairings report
+    /// their subtree moves through the notification API, so ablation
+    /// modes keep the engine too. Off reproduces the batch-retimed
+    /// hot path.
     bool use_incremental_timing{true};
     /// Slew quantization step of the incremental engine [ps]: slews
     /// delivered to a component are snapped to multiples of this, so

@@ -1,0 +1,82 @@
+// Lightweight per-phase wall-clock attribution for the synthesis hot
+// path, feeding the bench harness's maze / balance / timing columns.
+//
+// Scopes nest EXCLUSIVELY: entering an inner phase suspends the outer
+// one, so a timing query issued from inside the balance stage counts
+// as timing, not both. Accumulators are process-global atomics --
+// parallel synthesis threads fold into the same totals -- and the
+// whole machinery compiles down to one relaxed atomic load per scope
+// when profiling is disabled (the default), so shipping code paths
+// pay nothing measurable.
+//
+// This is bench instrumentation, not an API: totals are reset/read
+// by the harness around whole synthesis runs.
+#ifndef CTSIM_CTS_PHASE_PROFILE_H
+#define CTSIM_CTS_PHASE_PROFILE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ctsim::cts::profile {
+
+enum class Phase : int { maze = 0, balance = 1, timing = 2 };
+inline constexpr int kPhaseCount = 3;
+
+enum class Counter : int {
+    maze_calls = 0,       ///< maze_route invocations
+    c2f_coarse_routes,    ///< coarse-pass attempts
+    c2f_refined,          ///< corridor refinements that served the result
+    c2f_fallbacks,        ///< full-grid fallbacks (coarse or corridor failed)
+    count_,
+};
+inline constexpr int kCounterCount = static_cast<int>(Counter::count_);
+
+struct Snapshot {
+    double maze_s{0.0};
+    double balance_s{0.0};
+    double timing_s{0.0};
+    std::uint64_t maze_calls{0};
+    std::uint64_t c2f_coarse_routes{0};
+    std::uint64_t c2f_refined{0};
+    std::uint64_t c2f_fallbacks{0};
+};
+
+void enable(bool on);
+bool enabled();
+void reset();
+Snapshot snapshot();
+
+namespace detail {
+std::atomic<bool>& enabled_flag();
+void add_ns(Phase p, std::uint64_t ns);
+void bump(Counter c);
+}  // namespace detail
+
+/// Count one event (no-op when profiling is disabled).
+inline void count_event(Counter c) {
+    if (detail::enabled_flag().load(std::memory_order_relaxed)) detail::bump(c);
+}
+
+/// RAII phase scope with exclusive attribution (suspends the
+/// enclosing scope for its lifetime).
+class ScopedPhase {
+  public:
+    explicit ScopedPhase(Phase p);
+    ~ScopedPhase();
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  private:
+    void pause();
+    void resume();
+
+    bool active_{false};
+    Phase phase_{Phase::maze};
+    ScopedPhase* parent_{nullptr};
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ctsim::cts::profile
+
+#endif  // CTSIM_CTS_PHASE_PROFILE_H

@@ -73,7 +73,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
         for (auto [u, v] : pairing.pairs) {
             if (opt.hstructure != HStructureMode::off)
                 std::tie(u, v) = hstructure_check(res.tree, u, v, hctx, model, opt,
-                                                  res.hstats);
+                                                  res.hstats, engine.get());
             pairs.emplace_back(u, v);
         }
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "cts/incremental_timing.h"
 #include "cts_test_util.h"
 
 namespace ctsim::cts {
@@ -108,6 +111,71 @@ TEST(HStructure, FullFlowCorrectionNeverLosesSinks) {
         res.tree.validate_subtree(res.root);
         EXPECT_EQ(res.tree.sinks_below(res.root).size(), 24u) << "seed " << seed;
         EXPECT_GT(res.hstats.checks, 0);
+    }
+}
+
+TEST(HStructure, IncrementalEngineStaysConsistentAcrossRepairing) {
+    // H-structure re-pairings move subtrees on the shared tree; the
+    // detach/reattach notifications must leave a warmed engine's
+    // caches consistent, so its timing after the re-pairing matches
+    // the batch oracle to float-associativity. Covers both the
+    // flipping and the original-restoring outcome of each method --
+    // a stale cache (missed notification) shows up as a ps-scale
+    // error, far beyond the 1e-9 bound here.
+    const std::array<geom::Pt, 4> interleaved = {
+        geom::Pt{0, 0}, {8000, 8000}, {400, 100}, {8200, 7900}};
+    const std::array<geom::Pt, 4> clustered = {
+        geom::Pt{0, 0}, {500, 0}, {8000, 8000}, {8500, 8000}};
+    for (HStructureMode mode : {HStructureMode::correct, HStructureMode::reestimate}) {
+        for (const auto& pts : {interleaved, clustered}) {
+            Fixture f(pts);
+            SynthesisOptions o = opts(mode);
+            // Exact slews: quantization's documented sub-ps
+            // substitution error would otherwise mask nothing but
+            // still trip the tight bound below.
+            o.timing_slew_quantum_ps = 0.0;
+            IncrementalTiming engine(f.tree, analytic(), synthesis_timing_options(o));
+            // Warm every cache the re-pairing will have to invalidate.
+            (void)engine.root_timing(f.u);
+            (void)engine.root_timing(f.v);
+
+            HStructureStats stats;
+            const auto [nu, nv] = hstructure_check(f.tree, f.u, f.v,
+                                                   {&f.records, &f.timing}, analytic(), o,
+                                                   stats, &engine);
+            EXPECT_EQ(stats.checks, 1);
+            for (int root : {nu, nv}) {
+                f.tree.validate_subtree(root);
+                const RootTiming e = engine.root_timing(root);
+                const RootTiming b =
+                    subtree_timing(f.tree, root, analytic(), 80.0, /*propagate=*/true);
+                EXPECT_NEAR(e.max_ps, b.max_ps, 1e-9)
+                    << "mode " << static_cast<int>(mode) << " flips " << stats.flips;
+                EXPECT_NEAR(e.min_ps, b.min_ps, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(HStructure, FullFlowWithEngineMatchesOracle) {
+    // Integration: a multi-level synthesis with H-structure checks
+    // now runs on the persistent engine (it no longer bypasses
+    // cts::IncrementalTiming). The engine-computed root timing of the
+    // result must track the batch oracle within the documented sub-ps
+    // slew-quantization error; a missed notification in any of the
+    // level's re-pairings would leave a far larger stale error.
+    for (HStructureMode mode : {HStructureMode::correct, HStructureMode::reestimate}) {
+        const auto sinks = random_sinks(24, 9000.0, 4u);
+        SynthesisOptions o;
+        o.hstructure = mode;
+        const SynthesisResult res = synthesize(sinks, analytic(), o);
+        EXPECT_GT(res.hstats.checks, 0);
+        res.tree.validate_subtree(res.root);
+        EXPECT_EQ(res.tree.sinks_below(res.root).size(), 24u);
+        const RootTiming oracle =
+            subtree_timing(res.tree, res.root, analytic(), 80.0, /*propagate=*/true);
+        EXPECT_NEAR(res.root_timing.max_ps, oracle.max_ps, 1.0);
+        EXPECT_NEAR(res.root_timing.min_ps, oracle.min_ps, 1.0);
     }
 }
 

@@ -1,0 +1,186 @@
+// Maze engine overhaul coverage: precomputed delay rows, the sparse
+// bucketed frontier, and the coarse-to-fine corridor route (see the
+// engine contracts at the top of maze.h).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cts/phase_profile.h"
+#include "cts_test_util.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::buflib;
+
+SynthesisOptions base_opts() {
+    SynthesisOptions o;
+    o.slew_limit_ps = 100.0;
+    o.slew_target_ps = 80.0;
+    return o;
+}
+
+RouteEndpoint endpoint(geom::Pt pos, double dmax, const delaylib::DelayModel& m) {
+    RouteEndpoint ep;
+    ep.pos = pos;
+    ep.load_type = m.load_type_for_cap(12.0);
+    ep.delay_max_ps = dmax;
+    ep.delay_min_ps = dmax;
+    return ep;
+}
+
+/// Randomized merge instances shared by the equivalence properties:
+/// spans from sub-grid to multi-grid-growth, delay imbalances from
+/// balanced to near the in-route reach.
+struct Instance {
+    RouteEndpoint a, b;
+};
+std::vector<Instance> random_instances(int count, unsigned seed) {
+    const auto& m = analytic();
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> span(300.0, 18000.0);
+    std::uniform_real_distribution<double> unit(-1.0, 1.0);
+    std::uniform_real_distribution<double> imb(0.0, 120.0);
+    std::vector<Instance> out;
+    for (int i = 0; i < count; ++i) {
+        const double s = span(rng);
+        Instance inst;
+        inst.a = endpoint({1000.0 + s * unit(rng), 1000.0 + s * unit(rng)}, imb(rng), m);
+        inst.b = endpoint({1000.0 + s * unit(rng), 1000.0 + s * unit(rng)}, imb(rng), m);
+        out.push_back(inst);
+    }
+    return out;
+}
+
+void expect_valid(const MazeResult& r) {
+    EXPECT_TRUE(geom::almost_equal(r.side1.trace.back(), r.meet));
+    EXPECT_TRUE(geom::almost_equal(r.side2.trace.back(), r.meet));
+    const double lim =
+        max_feasible_run(analytic(), buflib().largest(), 0, 80.0, 80.0, 1e9);
+    EXPECT_LE(r.side1.tail_um, lim * 1.05);
+    EXPECT_LE(r.side2.tail_um, lim * 1.05);
+}
+
+// --- precomputed rows -------------------------------------------------
+
+TEST(MazeDelayRows, RouteIsBitIdenticalWithRowsOnOrOff) {
+    // The row fill goes through the EvalCache at the cache's own
+    // quantization, so enabling the rows must not move a single
+    // number (maze.h contract). Ring frontier on both sides so the
+    // only delta is the row lookup path.
+    const auto& m = analytic();
+    for (const Instance& inst : random_instances(25, 7u)) {
+        SynthesisOptions with = base_opts();
+        with.maze_bucket_frontier = false;
+        with.maze_coarse_to_fine = false;
+        with.maze_delay_rows = true;
+        SynthesisOptions without = with;
+        without.maze_delay_rows = false;
+
+        const MazeResult r1 = maze_route(inst.a, inst.b, m, with);
+        const MazeResult r2 = maze_route(inst.a, inst.b, m, without);
+        EXPECT_EQ(r1.d1_ps, r2.d1_ps);
+        EXPECT_EQ(r1.d2_ps, r2.d2_ps);
+        EXPECT_TRUE(geom::almost_equal(r1.meet, r2.meet));
+        ASSERT_EQ(r1.side1.buffers.size(), r2.side1.buffers.size());
+        ASSERT_EQ(r1.side2.buffers.size(), r2.side2.buffers.size());
+        for (std::size_t k = 0; k < r1.side1.buffers.size(); ++k)
+            EXPECT_EQ(r1.side1.buffers[k].type, r2.side1.buffers[k].type);
+        EXPECT_EQ(r1.side1.tail_um, r2.side1.tail_um);
+        EXPECT_EQ(r1.side2.tail_um, r2.side2.tail_um);
+    }
+}
+
+// --- bucketed frontier ------------------------------------------------
+
+TEST(MazeBucketFrontier, CostEquivalentToDenseSweep) {
+    // The dense reference (maze_early_exit = false) computes the exact
+    // DP optimum over the full grid. The bucketed frontier may stop
+    // early, but its meet's delay difference must stay within the
+    // stated band of the optimum: the early-exit tolerance plus the
+    // frontier bounds' monotonicity slack (see maze.h).
+    const auto& m = analytic();
+    const double tol = kMazeMeetTolPs + 2.0 * kMazeMonoSlackPs;
+    for (const Instance& inst : random_instances(30, 11u)) {
+        SynthesisOptions dense = base_opts();
+        dense.maze_early_exit = false;
+
+        SynthesisOptions bucket = base_opts();
+        bucket.maze_bucket_frontier = true;
+        bucket.maze_coarse_to_fine = false;
+
+        const MazeResult rd = maze_route(inst.a, inst.b, m, dense);
+        const MazeResult rb = maze_route(inst.a, inst.b, m, bucket);
+        expect_valid(rb);
+        EXPECT_LE(std::abs(rb.d1_ps - rb.d2_ps), std::abs(rd.d1_ps - rd.d2_ps) + tol)
+            << "a=(" << inst.a.pos.x << "," << inst.a.pos.y << ") d=" << inst.a.delay_max_ps
+            << " b=(" << inst.b.pos.x << "," << inst.b.pos.y << ") d="
+            << inst.b.delay_max_ps;
+    }
+}
+
+// --- coarse-to-fine ---------------------------------------------------
+
+TEST(MazeCoarseToFine, CostEquivalentToFullGridRoute) {
+    const auto& m = analytic();
+    for (const Instance& inst : random_instances(30, 13u)) {
+        SynthesisOptions full = base_opts();
+        full.maze_coarse_to_fine = false;
+
+        const SynthesisOptions c2f = base_opts();  // shipped defaults
+
+        const MazeResult rf = maze_route(inst.a, inst.b, m, full);
+        const MazeResult rc = maze_route(inst.a, inst.b, m, c2f);
+        expect_valid(rc);
+        // The corridor restricts candidates, so the c2f meet can be
+        // somewhat worse in diff; the binary-search and rebalance
+        // stages absorb this band (and the fallback covers failures).
+        EXPECT_LE(std::abs(rc.d1_ps - rc.d2_ps), std::abs(rf.d1_ps - rf.d2_ps) + 15.0);
+    }
+}
+
+TEST(MazeCoarseToFine, InfeasibleCoarsePitchFallsBackToFullGrid) {
+    // Force a coarse grid whose pitch exceeds every buffer's feasible
+    // run: coarse labels die two cells from each source, the coarse
+    // pass finds no meet, and maze_route must silently re-route on
+    // the full grid (maze.h fallback contract).
+    const auto& m = analytic();
+    SynthesisOptions o = base_opts();
+    o.grid_cells_per_dim = 24;      // >= the c2f engage threshold
+    o.grid_max_pitch_um = 1e9;      // no dynamic growth
+    const double far = max_feasible_run(m, buflib().largest(), 0, 80.0, 80.0, 1e9);
+    const double dist = 7.2 * far;  // fine pitch 0.3*far, coarse ~1.4*far
+
+    profile::enable(true);
+    profile::reset();
+    const MazeResult r =
+        maze_route(endpoint({0, 0}, 0.0, m), endpoint({dist, 0.6 * dist}, 0.0, m), m, o);
+    const profile::Snapshot s = profile::snapshot();
+    profile::enable(false);
+
+    EXPECT_EQ(s.c2f_coarse_routes, 1u);
+    EXPECT_EQ(s.c2f_fallbacks, 1u);
+    EXPECT_EQ(s.c2f_refined, 0u);
+    // The fallback route is a working full-resolution result.
+    EXPECT_TRUE(geom::almost_equal(r.side1.trace.back(), r.meet));
+    EXPECT_GE(r.side1.buffers.size() + r.side2.buffers.size(), 2u);
+}
+
+TEST(MazeCoarseToFine, RefinementServesLargeMerges) {
+    // Sanity: on an ordinary large merge the corridor refinement (not
+    // the fallback) serves the result.
+    const auto& m = analytic();
+    profile::enable(true);
+    profile::reset();
+    const MazeResult r = maze_route(endpoint({0, 0}, 0.0, m),
+                                    endpoint({15000, 9000}, 0.0, m), m, base_opts());
+    const profile::Snapshot s = profile::snapshot();
+    profile::enable(false);
+    EXPECT_EQ(s.c2f_refined, 1u);
+    EXPECT_EQ(s.c2f_fallbacks, 0u);
+    expect_valid(r);
+}
+
+}  // namespace
+}  // namespace ctsim::cts

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over BENCH_synth.json.
+
+Compares a freshly produced BENCH_synth.json against the committed
+baseline and fails (exit 1) when any instance regresses beyond the
+thresholds:
+
+  * wall-clock: > 15% on any mode's NORMALIZED time. Raw seconds are
+    not comparable across machines (the committed baseline comes from
+    a different box than the CI runner), so each mode's seconds are
+    divided by the same instance's `seed` seconds first -- the seed
+    mode is the fixed pre-overhaul algorithm and serves as the
+    machine-speed yardstick.
+  * wirelength: > 3% on any mode (solution quality; machine
+    independent, so compared raw).
+
+Instances or modes present in only one file are reported and skipped
+(the guard must not block adding instances/modes). Per-instance
+wall-clock checks apply only above MIN_SECONDS of baseline time --
+below that the comparison measures timer noise, not the algorithm --
+and every mode additionally gets an AGGREGATE check over the summed
+normalized time of all its instances, which is noise-robust and
+covers the fast instances the per-instance floor skips.
+
+usage: check_bench_regression.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+TIME_REGRESSION = 1.15
+WIRELENGTH_REGRESSION = 1.03
+MIN_SECONDS = 0.05
+
+
+def by_name(doc):
+    return {inst["name"]: inst for inst in doc.get("instances", [])}
+
+
+def mode_keys(inst):
+    return [k for k, v in inst.items() if isinstance(v, dict) and "seconds" in v]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    fresh = by_name(json.load(open(sys.argv[1])))
+    base = by_name(json.load(open(sys.argv[2])))
+
+    failures = []
+    checked = 0
+    agg = {}  # mode -> [fresh_norm_sum, base_norm_sum]
+    for name, b in base.items():
+        f = fresh.get(name)
+        if f is None:
+            print(f"note: instance {name} missing from fresh run, skipped")
+            continue
+        fseed = f.get("seed", {}).get("seconds", 0.0)
+        bseed = b.get("seed", {}).get("seconds", 0.0)
+        for mode in mode_keys(b):
+            if mode not in f:
+                print(f"note: {name}/{mode} missing from fresh run, skipped")
+                continue
+            fm, bm = f[mode], b[mode]
+            checked += 1
+
+            fw, bw = fm["wirelength_um"], bm["wirelength_um"]
+            if bw > 0 and fw > bw * WIRELENGTH_REGRESSION:
+                failures.append(
+                    f"{name}/{mode}: wirelength {bw:.0f} -> {fw:.0f} um "
+                    f"(+{100.0 * (fw / bw - 1.0):.1f}% > "
+                    f"{100.0 * (WIRELENGTH_REGRESSION - 1.0):.0f}%)")
+
+            if mode == "seed" or bseed <= 0 or fseed <= 0:
+                continue  # seed IS the yardstick
+            fnorm = fm["seconds"] / fseed
+            bnorm = bm["seconds"] / bseed
+            a = agg.setdefault(mode, [0.0, 0.0])
+            a[0] += fnorm
+            a[1] += bnorm
+            if bm["seconds"] < MIN_SECONDS:
+                continue  # per-instance check floors out; aggregate still sees it
+            if fnorm > bnorm * TIME_REGRESSION:
+                failures.append(
+                    f"{name}/{mode}: normalized wall-clock {bnorm:.3f} -> {fnorm:.3f} "
+                    f"(x seed; +{100.0 * (fnorm / bnorm - 1.0):.1f}% > "
+                    f"{100.0 * (TIME_REGRESSION - 1.0):.0f}%)")
+
+    for mode, (fsum, bsum) in sorted(agg.items()):
+        checked += 1
+        if bsum > 0 and fsum > bsum * TIME_REGRESSION:
+            failures.append(
+                f"aggregate/{mode}: summed normalized wall-clock {bsum:.3f} -> "
+                f"{fsum:.3f} (+{100.0 * (fsum / bsum - 1.0):.1f}% > "
+                f"{100.0 * (TIME_REGRESSION - 1.0):.0f}%)")
+
+    if failures:
+        print(f"PERF REGRESSION ({len(failures)} failure(s) over {checked} checks):")
+        for fmsg in failures:
+            print("  " + fmsg)
+        return 1
+    print(f"perf guard OK: {checked} instance/mode checks within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
