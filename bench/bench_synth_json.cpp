@@ -10,9 +10,11 @@
 //                 propagation), serial, ring frontier (the PR-2
 //                 configuration, maze overhaul levers off)
 //   maze_c2f    - incremental + precomputed delay rows + bucketed
-//                 frontier + coarse-to-fine grid, serial: the
-//                 current shipped default
-//   maze_c2f_parallel - maze_c2f, one thread per hw thread
+//                 frontier + coarse-to-fine grid, serial (the PR-3
+//                 configuration, skew refinement off)
+//   refine      - maze_c2f + the top-down skew refinement pass:
+//                 the current shipped default
+//   refine_parallel - refine, one thread per hw thread
 //
 // and writes BENCH_synth.json next to the binary so the performance
 // trajectory is tracked from PR to PR. Each mode also records the
@@ -49,24 +51,28 @@ struct InstanceRow {
     std::string name;
     int sinks{0};
     double span_um{0.0};
-    ModeResult seed, opt, incr, c2f, c2f_par;
+    ModeResult seed, opt, incr, c2f, refine, refine_par;
     bool parallel_identical{true};
 };
 
-enum class Mode { seed, opt, incremental, maze_c2f };
+enum class Mode { seed, opt, incremental, maze_c2f, refine };
 
 cts::SynthesisOptions mode_options(Mode m, int threads) {
     cts::SynthesisOptions o;
     const bool optimized = m != Mode::seed;
     o.use_eval_cache = optimized;
     o.maze_early_exit = optimized;
-    o.use_incremental_timing = m == Mode::incremental || m == Mode::maze_c2f;
+    o.use_incremental_timing = m == Mode::incremental || m == Mode::maze_c2f ||
+                               m == Mode::refine;
     // The maze-overhaul levers are the delta of the maze_c2f column;
     // the historical columns pin the PR-2 ring-frontier router.
-    const bool overhaul = m == Mode::maze_c2f;
+    const bool overhaul = m == Mode::maze_c2f || m == Mode::refine;
     o.maze_delay_rows = overhaul;
     o.maze_bucket_frontier = overhaul;
     o.maze_coarse_to_fine = overhaul;
+    // The refinement pass is the delta of the refine column; every
+    // historical column pins its pre-refinement measurement.
+    o.skew_refine = m == Mode::refine;
     o.num_threads = threads;
     return o;
 }
@@ -103,16 +109,17 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     row.opt = run_mode(sinks, mode_options(Mode::opt, 1));
     row.incr = run_mode(sinks, mode_options(Mode::incremental, 1));
     row.c2f = run_mode(sinks, mode_options(Mode::maze_c2f, 1));
-    row.c2f_par = run_mode(sinks, mode_options(Mode::maze_c2f, 0));
-    row.parallel_identical = row.c2f.wirelength_um == row.c2f_par.wirelength_um &&
-                             row.c2f.buffers == row.c2f_par.buffers &&
-                             row.c2f.skew_ps == row.c2f_par.skew_ps &&
-                             row.c2f.tree_nodes == row.c2f_par.tree_nodes;
+    row.refine = run_mode(sinks, mode_options(Mode::refine, 1));
+    row.refine_par = run_mode(sinks, mode_options(Mode::refine, 0));
+    row.parallel_identical = row.refine.wirelength_um == row.refine_par.wirelength_um &&
+                             row.refine.buffers == row.refine_par.buffers &&
+                             row.refine.skew_ps == row.refine_par.skew_ps &&
+                             row.refine.tree_nodes == row.refine_par.tree_nodes;
     std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
-                "c2f %7.3fs  par %7.3fs | incr->c2f %.2fx%s\n",
+                "c2f %7.3fs  refine %7.3fs (skew %5.2f -> %5.2f ps)  par %7.3fs%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
-                row.incr.seconds, row.c2f.seconds, row.c2f_par.seconds,
-                row.incr.seconds / row.c2f.seconds,
+                row.incr.seconds, row.c2f.seconds, row.refine.seconds, row.c2f.skew_ps,
+                row.refine.skew_ps, row.refine_par.seconds,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -123,11 +130,11 @@ void emit_mode(std::FILE* f, const char* key, const ModeResult& m, bool trailing
                  "      \"%s\": {\"seconds\": %.6f, \"wirelength_um\": %.3f, "
                  "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d,\n"
                  "        \"phases\": {\"maze_s\": %.6f, \"balance_s\": %.6f, "
-                 "\"timing_s\": %.6f},\n"
+                 "\"timing_s\": %.6f, \"refine_s\": %.6f},\n"
                  "        \"maze_calls\": %llu, \"c2f_coarse\": %llu, "
                  "\"c2f_refined\": %llu, \"c2f_fallbacks\": %llu}%s\n",
                  key, m.seconds, m.wirelength_um, m.buffers, m.skew_ps, m.tree_nodes,
-                 m.phases.maze_s, m.phases.balance_s, m.phases.timing_s,
+                 m.phases.maze_s, m.phases.balance_s, m.phases.timing_s, m.phases.refine_s,
                  static_cast<unsigned long long>(m.phases.maze_calls),
                  static_cast<unsigned long long>(m.phases.c2f_coarse_routes),
                  static_cast<unsigned long long>(m.phases.c2f_refined),
@@ -154,7 +161,7 @@ int main() {
         warm.die_span_um = 10000.0;
         warm.seed = 1;
         const auto sinks = bench_io::generate(warm);
-        (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::maze_c2f, 1));
+        (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::refine, 1));
     }
 
     std::vector<InstanceRow> rows;
@@ -202,13 +209,18 @@ int main() {
         emit_mode(f, "opt", r.opt, true);
         emit_mode(f, "incremental", r.incr, true);
         emit_mode(f, "maze_c2f", r.c2f, true);
-        emit_mode(f, "maze_c2f_parallel", r.c2f_par, true);
+        emit_mode(f, "refine", r.refine, true);
+        emit_mode(f, "refine_parallel", r.refine_par, true);
         std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
                      r.seed.seconds / r.opt.seconds);
         std::fprintf(f, "      \"speedup_opt_vs_incremental\": %.3f,\n",
                      r.opt.seconds / r.incr.seconds);
         std::fprintf(f, "      \"speedup_incremental_vs_maze_c2f\": %.3f,\n",
                      r.incr.seconds / r.c2f.seconds);
+        std::fprintf(f, "      \"refine_overhead_pct\": %.2f,\n",
+                     100.0 * (r.refine.seconds / r.c2f.seconds - 1.0));
+        std::fprintf(f, "      \"refine_skew_delta_ps\": %.6f,\n",
+                     r.refine.skew_ps - r.c2f.skew_ps);
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -222,6 +234,8 @@ int main() {
                      largest->opt.seconds / largest->incr.seconds);
         std::fprintf(f, "  \"largest_speedup_incremental_vs_maze_c2f\": %.3f,\n",
                      largest->incr.seconds / largest->c2f.seconds);
+        std::fprintf(f, "  \"largest_refine_overhead_pct\": %.2f,\n",
+                     100.0 * (largest->refine.seconds / largest->c2f.seconds - 1.0));
     }
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
@@ -234,9 +248,12 @@ int main() {
                     largest->opt.seconds / largest->incr.seconds);
         std::printf("largest complexity_scaling speedup (incremental -> maze_c2f): %.2fx\n",
                     largest->incr.seconds / largest->c2f.seconds);
-        std::printf("maze/balance/timing split (maze_c2f): %.3f / %.3f / %.3f s\n",
-                    largest->c2f.phases.maze_s, largest->c2f.phases.balance_s,
-                    largest->c2f.phases.timing_s);
+        std::printf("largest refine overhead (maze_c2f -> refine): %.2f%%, skew %.2f -> %.2f ps\n",
+                    100.0 * (largest->refine.seconds / largest->c2f.seconds - 1.0),
+                    largest->c2f.skew_ps, largest->refine.skew_ps);
+        std::printf("maze/balance/timing/refine split (refine): %.3f / %.3f / %.3f / %.3f s\n",
+                    largest->refine.phases.maze_s, largest->refine.phases.balance_s,
+                    largest->refine.phases.timing_s, largest->refine.phases.refine_s);
     }
     return all_identical ? 0 : 1;
 }

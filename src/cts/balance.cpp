@@ -26,6 +26,76 @@ double estimate_path_delay(const delaylib::DelayModel& model, double dist_um,
     return delay;
 }
 
+namespace {
+
+struct SnakeStage {
+    int type{0};
+    double len_um{0.0};
+    double delay_ps{0.0};
+};
+
+/// The (type, length) stage snake_delay commits next, given the load
+/// type it drives and the remaining burn target. Shared with
+/// snake_delay_preview so the dry run can never drift from the
+/// mutating loop. Full stages use the type that adds the most delay
+/// at its slew-feasible maximum; the last stage prefers a type whose
+/// [min, max] stage-delay range brackets the remaining target so a
+/// wire-length bisection can land on it exactly (overshoot only when
+/// the target is below every type's zero-wire delay).
+SnakeStage pick_snake_stage(delaylib::EvalCache& ec, const delaylib::DelayModel& model,
+                            int ltype, double remaining) {
+    SnakeStage st;
+    st.type = model.buffers().smallest();
+    double best_delay = -1.0;
+    for (int t = 0; t < model.buffers().count(); ++t) {
+        const double len = ec.max_feasible_run(t, ltype);
+        const double d = ec.stage_delay(t, ltype, len);
+        if (d > best_delay) {
+            best_delay = d;
+            st.type = t;
+            st.len_um = len;
+        }
+    }
+    st.delay_ps = best_delay;
+    if (best_delay > remaining) {
+        // Final stage: choose the type with the smallest zero-wire
+        // delay among those whose range covers the target (or the
+        // overall smallest zero-wire delay if none covers it).
+        int trim_t = -1;
+        double trim_min = 0.0;
+        double fallback_min = std::numeric_limits<double>::max();
+        int fallback_t = st.type;
+        for (int t = 0; t < model.buffers().count(); ++t) {
+            const double len = ec.max_feasible_run(t, ltype);
+            const double dmin = ec.stage_delay(t, ltype, 0.0);
+            const double dmax = ec.stage_delay(t, ltype, len);
+            if (dmin < fallback_min) {
+                fallback_min = dmin;
+                fallback_t = t;
+            }
+            if (dmin <= remaining && remaining <= dmax && (trim_t < 0 || dmin < trim_min)) {
+                trim_t = t;
+                trim_min = dmin;
+            }
+        }
+        st.type = trim_t >= 0 ? trim_t : fallback_t;
+        double lo = 0.0;
+        double hi = ec.max_feasible_run(st.type, ltype);
+        for (int it = 0; it < 30; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (ec.stage_delay(st.type, ltype, mid) <= remaining)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        st.len_um = ec.stage_delay(st.type, ltype, lo) <= remaining ? lo : 0.0;
+        st.delay_ps = ec.stage_delay(st.type, ltype, st.len_um);
+    }
+    return st;
+}
+
+}  // namespace
+
 SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
                         const delaylib::DelayModel& model, const SynthesisOptions& opt) {
     profile::ScopedPhase phase(profile::Phase::balance);
@@ -39,71 +109,40 @@ SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
         const double load_cap =
             tree.root_input_cap_ff(cur, model.technology(), model.buffers());
         const int ltype = model.load_type_for_cap(load_cap);
-        const double remaining = burn_ps - res.added_delay_ps;
+        const SnakeStage st =
+            pick_snake_stage(ec, model, ltype, burn_ps - res.added_delay_ps);
 
-        // Pick the (type, length) stage. Full stages use the type that
-        // adds the most delay at its slew-feasible maximum; the last
-        // stage prefers a type whose [min, max] stage-delay range
-        // brackets the remaining target so a wire-length bisection can
-        // land on it exactly (overshoot only when the target is below
-        // every type's zero-wire delay).
-        int best_t = model.buffers().smallest();
-        double best_len = 0.0;
-        double best_delay = -1.0;
-        for (int t = 0; t < model.buffers().count(); ++t) {
-            const double len = ec.max_feasible_run(t, ltype);
-            const double d = ec.stage_delay(t, ltype, len);
-            if (d > best_delay) {
-                best_delay = d;
-                best_t = t;
-                best_len = len;
-            }
-        }
-        if (best_delay > remaining) {
-            // Final stage: choose the type with the smallest zero-wire
-            // delay among those whose range covers the target (or the
-            // overall smallest zero-wire delay if none covers it).
-            int trim_t = -1;
-            double trim_min = 0.0;
-            double fallback_min = std::numeric_limits<double>::max();
-            int fallback_t = best_t;
-            for (int t = 0; t < model.buffers().count(); ++t) {
-                const double len = ec.max_feasible_run(t, ltype);
-                const double dmin = ec.stage_delay(t, ltype, 0.0);
-                const double dmax = ec.stage_delay(t, ltype, len);
-                if (dmin < fallback_min) {
-                    fallback_min = dmin;
-                    fallback_t = t;
-                }
-                if (dmin <= remaining && remaining <= dmax &&
-                    (trim_t < 0 || dmin < trim_min)) {
-                    trim_t = t;
-                    trim_min = dmin;
-                }
-            }
-            best_t = trim_t >= 0 ? trim_t : fallback_t;
-            double lo = 0.0;
-            double hi = ec.max_feasible_run(best_t, ltype);
-            for (int it = 0; it < 30; ++it) {
-                const double mid = 0.5 * (lo + hi);
-                if (ec.stage_delay(best_t, ltype, mid) <= remaining)
-                    lo = mid;
-                else
-                    hi = mid;
-            }
-            best_len = ec.stage_delay(best_t, ltype, lo) <= remaining ? lo : 0.0;
-            best_delay = ec.stage_delay(best_t, ltype, best_len);
-        }
-
-        // Snaked wire: electrically best_len, geometrically in place.
-        const int buf = tree.add_buffer(pos, best_t);
-        tree.connect(buf, cur, best_len);
+        // Snaked wire: electrically st.len_um, geometrically in place.
+        const int buf = tree.add_buffer(pos, st.type);
+        tree.connect(buf, cur, st.len_um);
         res.new_root = buf;
-        res.added_delay_ps += best_delay;
+        res.added_delay_ps += st.delay_ps;
         res.stages += 1;
 
         // A zero-length trimmed stage still adds the buffer delay, so
         // progress is guaranteed; bail out defensively regardless.
+        if (res.stages > 200) break;
+    }
+    return res;
+}
+
+SnakePreview snake_delay_preview(const ClockTree& tree, int root, double burn_ps,
+                                 const delaylib::DelayModel& model,
+                                 const SynthesisOptions& opt) {
+    delaylib::EvalCache& ec = eval_cache_for(model, opt);
+    SnakePreview res;
+    int ltype = model.load_type_for_cap(
+        tree.root_input_cap_ff(root, model.technology(), model.buffers()));
+    while (res.added_delay_ps < burn_ps) {
+        const SnakeStage st =
+            pick_snake_stage(ec, model, ltype, burn_ps - res.added_delay_ps);
+        res.added_delay_ps += st.delay_ps;
+        res.stages += 1;
+        res.top_type = st.type;
+        // The next stage drives the input cap of the buffer just
+        // "inserted" (what root_input_cap_ff reports for a buffer).
+        ltype = model.load_type_for_cap(
+            model.buffers().type(st.type).input_cap_ff(model.technology()));
         if (res.stages > 200) break;
     }
     return res;

@@ -38,6 +38,26 @@ struct SnakeResult {
 SnakeResult snake_delay(ClockTree& tree, int root, double burn_ps,
                         const delaylib::DelayModel& model, const SynthesisOptions& opt);
 
+struct SnakePreview {
+    double added_delay_ps{0.0};
+    int stages{0};
+    /// Buffer type of the LAST (topmost) stage -- what the caller's
+    /// stage wire would drive after the snake; -1 when no stage fits.
+    int top_type{-1};
+};
+
+/// Dry run of snake_delay: the delay it WOULD add above `root` for a
+/// `burn_ps` target, without touching the tree. Runs the exact
+/// stage-selection loop of snake_delay (shared helper), so the
+/// preview equals the subsequent snake_delay call's added_delay_ps.
+/// Snaking quantizes coarsely near the bottom -- no stage can add
+/// less than the smallest zero-wire stage delay -- so callers use
+/// this to skip snakes that would overshoot into a worse imbalance
+/// than they fix.
+SnakePreview snake_delay_preview(const ClockTree& tree, int root, double burn_ps,
+                                 const delaylib::DelayModel& model,
+                                 const SynthesisOptions& opt);
+
 /// Outcome of the pre-route balance stage of one merge.
 struct PrebalanceResult {
     int root_a{-1};  ///< possibly a new snake-stage root above `a`

@@ -120,6 +120,20 @@ struct SynthesisOptions {
     /// exact slews (early termination only on equal slews, which
     /// reproduces the batch-retimed results bit-for-bit).
     double timing_slew_quantum_ps{0.25};
+    /// Run the post-synthesis top-down skew refinement pass
+    /// (skew_refine.h): every merge node's two-sided balance is
+    /// re-solved on the finished tree (stage-wire trims, coupled
+    /// tap-point slides, buffer-size swaps, residual snaking), driving
+    /// all re-timing through the incremental engine. This clamps the
+    /// root-skew band that decision-level chaos opens between engine
+    /// configurations; off reproduces the unrefined bottom-up result.
+    bool skew_refine{true};
+    /// Full deepest-first sweeps of the refinement pass; it stops
+    /// earlier at a fixed point (a sweep that moves no knob).
+    int skew_refine_passes{3};
+    /// Per-merge convergence tolerance of the refinement pass [ps]:
+    /// a merge whose two sides agree within this is left alone.
+    double skew_refine_tol_ps{0.05};
 
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;

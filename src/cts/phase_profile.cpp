@@ -43,6 +43,7 @@ Snapshot snapshot() {
     s.maze_s = secs(g_phase_ns[static_cast<int>(Phase::maze)]);
     s.balance_s = secs(g_phase_ns[static_cast<int>(Phase::balance)]);
     s.timing_s = secs(g_phase_ns[static_cast<int>(Phase::timing)]);
+    s.refine_s = secs(g_phase_ns[static_cast<int>(Phase::refine)]);
     const auto cnt = [](Counter c) {
         return g_counters[static_cast<int>(c)].load(std::memory_order_relaxed);
     };

@@ -117,6 +117,27 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
 
     res.root = roots[0];
     res.root_timing = timing.at(res.root);
+
+    // Top-down skew refinement on the finished tree (skew_refine.h).
+    // Serial runs reuse the persistent engine; pooled runs (and the
+    // batch-retimed path) build a fresh one here -- the refinement is
+    // single-threaded either way and engine purity keeps the refined
+    // tree bit-for-bit identical across thread counts. With the
+    // incremental engine disabled the refinement engine runs at an
+    // exact (zero) slew quantum, matching batch re-timing semantics.
+    if (opt.skew_refine) {
+        IncrementalTiming* eng = engine.get();
+        std::unique_ptr<IncrementalTiming> local;
+        if (!eng) {
+            IncrementalTiming::Options topt = synthesis_timing_options(opt);
+            if (!engine_on) topt.slew_quantum_ps = 0.0;
+            local = std::make_unique<IncrementalTiming>(res.tree, model, topt);
+            eng = local.get();
+        }
+        res.refine = refine_skew(res.tree, res.root, model, opt, *eng);
+        res.root_timing = eng->root_timing(res.root);
+    }
+
     res.tree.validate_subtree(res.root);
     res.wire_length_um = res.tree.wire_length_below(res.root);
     res.buffer_count = res.tree.buffer_count_below(res.root);

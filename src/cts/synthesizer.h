@@ -23,6 +23,7 @@
 #include "cts/hstructure.h"
 #include "cts/merge_routing.h"
 #include "cts/options.h"
+#include "cts/skew_refine.h"
 #include "cts/timing.h"
 #include "cts/topology.h"
 #include "delaylib/delay_model.h"
@@ -42,6 +43,7 @@ struct SynthesisResult {
     int levels{0};
     HStructureStats hstats;
     RootTiming root_timing;  ///< pessimistic model timing at the root
+    SkewRefineStats refine;  ///< what the top-down refinement pass did
     double wire_length_um{0.0};
     int buffer_count{0};
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -198,11 +200,21 @@ std::unique_ptr<FittedLibrary> FittedLibrary::load(std::istream& is,
     return out;
 }
 
+std::string FittedLibrary::resolve_cache_path(const std::string& path) {
+    if (path.empty() || path.front() == '/') return path;
+    const char* dir = std::getenv("CTSIM_CACHE_DIR");
+    if (!dir || !*dir) return path;
+    std::string resolved(dir);
+    if (resolved.back() != '/') resolved += '/';
+    return resolved + path;
+}
+
 std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(
     const std::string& path, const tech::Technology& tech, const tech::BufferLibrary& lib,
     const FitOptions& opt) {
+    const std::string where = resolve_cache_path(path);
     {
-        std::ifstream in(path);
+        std::ifstream in(where);
         if (in) {
             try {
                 return load(in, tech, lib);
@@ -212,7 +224,11 @@ std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(
         }
     }
     auto fresh = characterize(tech, lib, opt);
-    std::ofstream outf(path);
+    if (const auto slash = where.find_last_of('/'); slash != std::string::npos) {
+        std::error_code ec;  // best effort; an unwritable dir just skips the save
+        std::filesystem::create_directories(where.substr(0, slash), ec);
+    }
+    std::ofstream outf(where);
     if (outf) fresh->save(outf);
     return fresh;
 }

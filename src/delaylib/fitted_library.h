@@ -58,10 +58,20 @@ class FittedLibrary final : public DelayModel {
     static std::unique_ptr<FittedLibrary> load(std::istream& is, const tech::Technology& tech,
                                                const tech::BufferLibrary& lib);
     /// Load from `path` if present, otherwise characterize and save.
+    /// A RELATIVE `path` is resolved against the CTSIM_CACHE_DIR
+    /// environment variable when set (resolve_cache_path below), so
+    /// tools that default to a bare filename stop dropping caches
+    /// into whatever directory they were started from; absolute
+    /// paths are used verbatim.
     static std::unique_ptr<FittedLibrary> load_or_characterize(const std::string& path,
                                                                const tech::Technology& tech,
                                                                const tech::BufferLibrary& lib,
                                                                const FitOptions& opt = {});
+
+    /// The cache location load_or_characterize will actually use:
+    /// `path` prefixed with CTSIM_CACHE_DIR when that is set and
+    /// `path` is relative; `path` unchanged otherwise.
+    static std::string resolve_cache_path(const std::string& path);
 
     void save(std::ostream& os) const;
 

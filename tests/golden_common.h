@@ -67,7 +67,12 @@ struct GoldenRecord {
 /// --update-golden`, with the diff justified in review), not a reason
 /// to widen the tolerances until they stop detecting regressions.
 inline constexpr double kGoldenWirelengthRelTol = 1e-3;
-inline constexpr double kGoldenSkewAbsTolPs = 0.25;
+/// Tightened from 0.25 in PR 4: the top-down refinement pass clamps
+/// the shipped-default skews to a 0.3-2.5 ps range, so drift a
+/// quarter-ps wide would swallow a meaningful fraction of the value
+/// being pinned. Same-toolchain runs reproduce exactly; this absorbs
+/// only sub-decision float noise.
+inline constexpr double kGoldenSkewAbsTolPs = 0.1;
 inline constexpr int kGoldenBufferTol = 2;
 inline constexpr int kGoldenTreeNodeTol = 4;
 

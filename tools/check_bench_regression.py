@@ -13,6 +13,12 @@ thresholds:
     machine-speed yardstick.
   * wirelength: > 3% on any mode (solution quality; machine
     independent, so compared raw).
+  * refined skew: the refine/refine_parallel modes carry the
+    top-down skew-refinement clamp, whose whole point is a stable
+    skew band; any instance whose refined skew exceeds the committed
+    baseline's by more than SKEW_SLACK_PS fails (machine independent,
+    compared raw; other modes stay ungated -- their skews are
+    decision-chaotic by design).
 
 Instances or modes present in only one file are reported and skipped
 (the guard must not block adding instances/modes). Per-instance
@@ -31,6 +37,7 @@ import sys
 TIME_REGRESSION = 1.15
 WIRELENGTH_REGRESSION = 1.03
 MIN_SECONDS = 0.05
+SKEW_SLACK_PS = 1.0
 
 
 def by_name(doc):
@@ -71,6 +78,14 @@ def main():
                     f"{name}/{mode}: wirelength {bw:.0f} -> {fw:.0f} um "
                     f"(+{100.0 * (fw / bw - 1.0):.1f}% > "
                     f"{100.0 * (WIRELENGTH_REGRESSION - 1.0):.0f}%)")
+
+            if mode.startswith("refine"):
+                fs, bs = fm.get("skew_ps", 0.0), bm.get("skew_ps", 0.0)
+                if fs > bs + SKEW_SLACK_PS:
+                    failures.append(
+                        f"{name}/{mode}: refined skew {bs:.2f} -> {fs:.2f} ps "
+                        f"(> baseline + {SKEW_SLACK_PS:.0f} ps; the refinement "
+                        f"clamp regressed)")
 
             if mode == "seed" or bseed <= 0 or fseed <= 0:
                 continue  # seed IS the yardstick

@@ -11,6 +11,7 @@
 // Exit status is nonzero when the verified worst slew exceeds the
 // limit, so the tool can gate a flow.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -39,6 +40,9 @@ void usage() {
         "  --seed-policy P     max-latency | random (default max-latency)\n"
         "  --matching P        greedy | path-growing (default greedy)\n"
         "  --library FILE      delay library cache (default ctsim_delaylib_45nm.cache)\n"
+        "  --cache-dir DIR     directory for relative cache files (also honors the\n"
+        "                      CTSIM_CACHE_DIR environment variable; without either,\n"
+        "                      the cache lands in the current directory)\n"
         "  --spice FILE        export the verified netlist as a SPICE deck\n"
         "  --quiet             only print the summary line\n");
 }
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
         else if (a == "--slew") opt.slew_target_ps = std::atof(next());
         else if (a == "--grid") opt.grid_cells_per_dim = std::atoi(next());
         else if (a == "--library") library_path = next();
+        else if (a == "--cache-dir") setenv("CTSIM_CACHE_DIR", next(), 1);
         else if (a == "--spice") spice_file = next();
         else if (a == "--quiet") quiet = true;
         else if (a == "--hstructure") {
