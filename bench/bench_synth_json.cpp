@@ -12,9 +12,18 @@
 //   maze_c2f    - incremental + precomputed delay rows + bucketed
 //                 frontier + coarse-to-fine grid, serial (the PR-3
 //                 configuration, skew refinement off)
-//   refine      - maze_c2f + the top-down skew refinement pass:
-//                 the current shipped default
-//   refine_parallel - refine, one thread per hw thread
+//   refine      - maze_c2f + the top-down skew refinement pass (the
+//                 PR-4 configuration: quantized engine, no
+//                 reclamation)
+//   reclaim     - refine + the exact (quantum-0) engine + the
+//                 engine-verified wirelength reclamation pass: the
+//                 current shipped default
+//   reclaim_parallel - reclaim, one thread per hw thread
+//
+// The historical columns pin their PR's configuration explicitly
+// (incremental..refine keep the 0.25 ps slew quantum they were
+// measured with), so each column's delta stays attributable to one
+// PR's levers.
 //
 // and writes BENCH_synth.json next to the binary so the performance
 // trajectory is tracked from PR to PR. Each mode also records the
@@ -44,6 +53,7 @@ struct ModeResult {
     int buffers{0};
     double skew_ps{0.0};
     int tree_nodes{0};
+    double reclaimed_um{0.0};  ///< verified net reclaim (reclaim modes)
     cts::profile::Snapshot phases;
 };
 
@@ -51,11 +61,11 @@ struct InstanceRow {
     std::string name;
     int sinks{0};
     double span_um{0.0};
-    ModeResult seed, opt, incr, c2f, refine, refine_par;
+    ModeResult seed, opt, incr, c2f, refine, reclaim, reclaim_par;
     bool parallel_identical{true};
 };
 
-enum class Mode { seed, opt, incremental, maze_c2f, refine };
+enum class Mode { seed, opt, incremental, maze_c2f, refine, reclaim };
 
 cts::SynthesisOptions mode_options(Mode m, int threads) {
     cts::SynthesisOptions o;
@@ -63,16 +73,22 @@ cts::SynthesisOptions mode_options(Mode m, int threads) {
     o.use_eval_cache = optimized;
     o.maze_early_exit = optimized;
     o.use_incremental_timing = m == Mode::incremental || m == Mode::maze_c2f ||
-                               m == Mode::refine;
+                               m == Mode::refine || m == Mode::reclaim;
     // The maze-overhaul levers are the delta of the maze_c2f column;
     // the historical columns pin the PR-2 ring-frontier router.
-    const bool overhaul = m == Mode::maze_c2f || m == Mode::refine;
+    const bool overhaul = m == Mode::maze_c2f || m == Mode::refine || m == Mode::reclaim;
     o.maze_delay_rows = overhaul;
     o.maze_bucket_frontier = overhaul;
     o.maze_coarse_to_fine = overhaul;
     // The refinement pass is the delta of the refine column; every
     // historical column pins its pre-refinement measurement.
-    o.skew_refine = m == Mode::refine;
+    o.skew_refine = m == Mode::refine || m == Mode::reclaim;
+    // The reclaim column is the shipped default: the exact engine
+    // (PR 5 canonicalization; the PR 2-4 columns keep the 0.25 ps
+    // quantum they were measured with) plus the verified wirelength
+    // reclamation pass.
+    o.timing_slew_quantum_ps = m == Mode::reclaim ? 0.0 : 0.25;
+    o.wire_reclaim = m == Mode::reclaim;
     o.num_threads = threads;
     return o;
 }
@@ -89,7 +105,10 @@ ModeResult run_mode(const std::vector<cts::SinkSpec>& sinks, const cts::Synthesi
     r.wirelength_um = res.wire_length_um;
     r.buffers = res.buffer_count;
     r.skew_ps = res.root_timing.max_ps - res.root_timing.min_ps;
-    r.tree_nodes = res.tree.size();
+    // Live nodes below the root (reclaim's ballast removals orphan
+    // arena slots), consistent with the buffer/wirelength metrics.
+    r.tree_nodes = static_cast<int>(res.tree.subtree(res.root).size());
+    r.reclaimed_um = res.reclaim.reclaimed_um;
     return r;
 }
 
@@ -110,16 +129,17 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     row.incr = run_mode(sinks, mode_options(Mode::incremental, 1));
     row.c2f = run_mode(sinks, mode_options(Mode::maze_c2f, 1));
     row.refine = run_mode(sinks, mode_options(Mode::refine, 1));
-    row.refine_par = run_mode(sinks, mode_options(Mode::refine, 0));
-    row.parallel_identical = row.refine.wirelength_um == row.refine_par.wirelength_um &&
-                             row.refine.buffers == row.refine_par.buffers &&
-                             row.refine.skew_ps == row.refine_par.skew_ps &&
-                             row.refine.tree_nodes == row.refine_par.tree_nodes;
+    row.reclaim = run_mode(sinks, mode_options(Mode::reclaim, 1));
+    row.reclaim_par = run_mode(sinks, mode_options(Mode::reclaim, 0));
+    row.parallel_identical = row.reclaim.wirelength_um == row.reclaim_par.wirelength_um &&
+                             row.reclaim.buffers == row.reclaim_par.buffers &&
+                             row.reclaim.skew_ps == row.reclaim_par.skew_ps &&
+                             row.reclaim.tree_nodes == row.reclaim_par.tree_nodes;
     std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
-                "c2f %7.3fs  refine %7.3fs (skew %5.2f -> %5.2f ps)  par %7.3fs%s\n",
+                "c2f %7.3fs  refine %7.3fs  reclaim %7.3fs (-%.0f um wl)  par %7.3fs%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
-                row.incr.seconds, row.c2f.seconds, row.refine.seconds, row.c2f.skew_ps,
-                row.refine.skew_ps, row.refine_par.seconds,
+                row.incr.seconds, row.c2f.seconds, row.refine.seconds, row.reclaim.seconds,
+                row.reclaim.reclaimed_um, row.reclaim_par.seconds,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -128,13 +148,15 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
 void emit_mode(std::FILE* f, const char* key, const ModeResult& m, bool trailing_comma) {
     std::fprintf(f,
                  "      \"%s\": {\"seconds\": %.6f, \"wirelength_um\": %.3f, "
-                 "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d,\n"
+                 "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d, "
+                 "\"reclaimed_um\": %.3f,\n"
                  "        \"phases\": {\"maze_s\": %.6f, \"balance_s\": %.6f, "
-                 "\"timing_s\": %.6f, \"refine_s\": %.6f},\n"
+                 "\"timing_s\": %.6f, \"refine_s\": %.6f, \"reclaim_s\": %.6f},\n"
                  "        \"maze_calls\": %llu, \"c2f_coarse\": %llu, "
                  "\"c2f_refined\": %llu, \"c2f_fallbacks\": %llu}%s\n",
                  key, m.seconds, m.wirelength_um, m.buffers, m.skew_ps, m.tree_nodes,
-                 m.phases.maze_s, m.phases.balance_s, m.phases.timing_s, m.phases.refine_s,
+                 m.reclaimed_um, m.phases.maze_s, m.phases.balance_s, m.phases.timing_s,
+                 m.phases.refine_s, m.phases.reclaim_s,
                  static_cast<unsigned long long>(m.phases.maze_calls),
                  static_cast<unsigned long long>(m.phases.c2f_coarse_routes),
                  static_cast<unsigned long long>(m.phases.c2f_refined),
@@ -161,7 +183,7 @@ int main() {
         warm.die_span_um = 10000.0;
         warm.seed = 1;
         const auto sinks = bench_io::generate(warm);
-        (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::refine, 1));
+        (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::reclaim, 1));
     }
 
     std::vector<InstanceRow> rows;
@@ -210,7 +232,8 @@ int main() {
         emit_mode(f, "incremental", r.incr, true);
         emit_mode(f, "maze_c2f", r.c2f, true);
         emit_mode(f, "refine", r.refine, true);
-        emit_mode(f, "refine_parallel", r.refine_par, true);
+        emit_mode(f, "reclaim", r.reclaim, true);
+        emit_mode(f, "reclaim_parallel", r.reclaim_par, true);
         std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
                      r.seed.seconds / r.opt.seconds);
         std::fprintf(f, "      \"speedup_opt_vs_incremental\": %.3f,\n",
@@ -221,6 +244,11 @@ int main() {
                      100.0 * (r.refine.seconds / r.c2f.seconds - 1.0));
         std::fprintf(f, "      \"refine_skew_delta_ps\": %.6f,\n",
                      r.refine.skew_ps - r.c2f.skew_ps);
+        std::fprintf(f, "      \"reclaim_overhead_pct\": %.2f,\n",
+                     100.0 * (r.reclaim.seconds / r.refine.seconds - 1.0));
+        std::fprintf(f, "      \"reclaimed_wl_pct\": %.4f,\n",
+                     100.0 * r.reclaim.reclaimed_um /
+                         (r.reclaim.wirelength_um + r.reclaim.reclaimed_um));
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -236,6 +264,8 @@ int main() {
                      largest->incr.seconds / largest->c2f.seconds);
         std::fprintf(f, "  \"largest_refine_overhead_pct\": %.2f,\n",
                      100.0 * (largest->refine.seconds / largest->c2f.seconds - 1.0));
+        std::fprintf(f, "  \"largest_reclaim_phase_pct\": %.2f,\n",
+                     100.0 * largest->reclaim.phases.reclaim_s / largest->reclaim.seconds);
     }
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
@@ -251,9 +281,17 @@ int main() {
         std::printf("largest refine overhead (maze_c2f -> refine): %.2f%%, skew %.2f -> %.2f ps\n",
                     100.0 * (largest->refine.seconds / largest->c2f.seconds - 1.0),
                     largest->c2f.skew_ps, largest->refine.skew_ps);
-        std::printf("maze/balance/timing/refine split (refine): %.3f / %.3f / %.3f / %.3f s\n",
-                    largest->refine.phases.maze_s, largest->refine.phases.balance_s,
-                    largest->refine.phases.timing_s, largest->refine.phases.refine_s);
+        std::printf("largest reclaim: %.0f um verified (-%.2f%% wl), reclaim_s %.1f%% of %.3fs\n",
+                    largest->reclaim.reclaimed_um,
+                    100.0 * largest->reclaim.reclaimed_um /
+                        (largest->reclaim.wirelength_um + largest->reclaim.reclaimed_um),
+                    100.0 * largest->reclaim.phases.reclaim_s / largest->reclaim.seconds,
+                    largest->reclaim.seconds);
+        std::printf("maze/balance/timing/refine/reclaim split (reclaim): "
+                    "%.3f / %.3f / %.3f / %.3f / %.3f s\n",
+                    largest->reclaim.phases.maze_s, largest->reclaim.phases.balance_s,
+                    largest->reclaim.phases.timing_s, largest->reclaim.phases.refine_s,
+                    largest->reclaim.phases.reclaim_s);
     }
     return all_identical ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "bench_io/parsers.h"
 
+#include "util/names.h"
+
 #include <istream>
 #include <sstream>
 #include <stdexcept>
@@ -45,7 +47,7 @@ std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is) {
         if (toks.size() == 3 && is_number(toks[0])) {
             s.pos = {std::stod(toks[0]), std::stod(toks[1])};
             s.cap_ff = std::stod(toks[2]);
-            s.name = "s" + std::to_string(sinks.size());
+            s.name = util::indexed_name("s", static_cast<long long>(sinks.size()));
         } else if (toks.size() == 4 && is_number(toks[1]) && is_number(toks[2]) &&
                    is_number(toks[3])) {
             s.name = toks[0];

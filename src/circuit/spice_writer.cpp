@@ -3,11 +3,13 @@
 #include <cmath>
 #include <ostream>
 
+#include "util/names.h"
+
 namespace ctsim::circuit {
 
 namespace {
 
-std::string node_name(int i) { return "n" + std::to_string(i); }
+std::string node_name(int i) { return util::indexed_name("n", i); }
 
 }  // namespace
 
@@ -44,9 +46,9 @@ void write_spice(std::ostream& os, const Netlist& net, const tech::Technology& t
         const int segs = 3;
         std::string prev = node_name(w.a);
         for (int s = 0; s < segs; ++s) {
-            const std::string next =
-                s + 1 == segs ? node_name(w.b)
-                              : "w" + std::to_string(ridx) + "_" + std::to_string(s);
+            const std::string next = s + 1 == segs
+                ? node_name(w.b)
+                : util::indexed_name("w", ridx) + util::indexed_name("_", s);
             os << "r" << ridx << "_" << s << ' ' << prev << ' ' << next << ' '
                << res_ohm / segs << "\n";
             os << "c" << ridx << "_" << s << "a " << prev << " 0 " << cap_f / segs / 2 << "\n";

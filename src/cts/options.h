@@ -119,7 +119,17 @@ struct SynthesisOptions {
     /// the (sub-unity) delay sensitivity to input slew. <= 0 keeps
     /// exact slews (early termination only on equal slews, which
     /// reproduces the batch-retimed results bit-for-bit).
-    double timing_slew_quantum_ps{0.25};
+    ///
+    /// The shipped default is EXACT (0): a nonzero quantum perturbs
+    /// merge-time rebalance decisions away from the batch oracle's,
+    /// and that decision chaos was the largest contributor to the
+    /// cross-configuration wirelength band (PR 5 measured the
+    /// 16-config spread dropping from 4.3-5.8% to 1.7-3.1% on the
+    /// invariance instances when the engine went exact, for ~11%
+    /// end-to-end at scal_n3200 -- the quantum's win shrank to that
+    /// once the maze overhaul left timing a minority phase). Set
+    /// 0.25 to reproduce the PR 2-4 quantized configuration.
+    double timing_slew_quantum_ps{0.0};
     /// Run the post-synthesis top-down skew refinement pass
     /// (skew_refine.h): every merge node's two-sided balance is
     /// re-solved on the finished tree (stage-wire trims, coupled
@@ -134,6 +144,32 @@ struct SynthesisOptions {
     /// Per-merge convergence tolerance of the refinement pass [ps]:
     /// a merge whose two sides agree within this is left alone.
     double skew_refine_tol_ps{0.05};
+    /// Run the post-refinement wirelength reclamation pass
+    /// (wire_reclaim.h): ranked common-mode stage-wire trims and
+    /// snake-stage removals are applied in budgeted batches, each
+    /// batch verified wholesale by one IncrementalTiming truth walk
+    /// and rolled back (recorded inverse edits) when the verified
+    /// skew regresses beyond wire_reclaim_skew_tol_ps. Closes the
+    /// cross-configuration wirelength band the skew refinement pass
+    /// cannot reach; off reproduces the unreclaimed tree.
+    bool wire_reclaim{true};
+    /// Verified sweeps of the reclamation pass (each costs one truth
+    /// walk); it stops earlier when no candidate clears the minimum
+    /// predicted reclaim or a rolled-back batch halves to zero. Two
+    /// sweeps recover nearly all of the reachable slack -- the
+    /// balance-critical structure of a refined tree caps the verified
+    /// flow (see wire_reclaim.h) -- and keep the pass within its
+    /// <= 10% end-to-end budget at scal_n3200.
+    int wire_reclaim_passes{2};
+    /// Candidate merges granted reclamation per sweep -- the batch
+    /// one truth walk must vouch for. A verified regression halves
+    /// it; smaller batches compound less model error per walk at the
+    /// cost of more sweeps.
+    int wire_reclaim_batch{64};
+    /// Engine-verified root-skew regression budget of the WHOLE pass
+    /// [ps]: a batch whose truth walk lands beyond the pre-pass skew
+    /// plus this is rolled back.
+    double wire_reclaim_skew_tol_ps{0.5};
 
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;

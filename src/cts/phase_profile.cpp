@@ -44,6 +44,7 @@ Snapshot snapshot() {
     s.balance_s = secs(g_phase_ns[static_cast<int>(Phase::balance)]);
     s.timing_s = secs(g_phase_ns[static_cast<int>(Phase::timing)]);
     s.refine_s = secs(g_phase_ns[static_cast<int>(Phase::refine)]);
+    s.reclaim_s = secs(g_phase_ns[static_cast<int>(Phase::reclaim)]);
     const auto cnt = [](Counter c) {
         return g_counters[static_cast<int>(c)].load(std::memory_order_relaxed);
     };

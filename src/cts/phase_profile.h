@@ -20,8 +20,8 @@
 
 namespace ctsim::cts::profile {
 
-enum class Phase : int { maze = 0, balance = 1, timing = 2, refine = 3 };
-inline constexpr int kPhaseCount = 4;
+enum class Phase : int { maze = 0, balance = 1, timing = 2, refine = 3, reclaim = 4 };
+inline constexpr int kPhaseCount = 5;
 
 enum class Counter : int {
     maze_calls = 0,       ///< maze_route invocations
@@ -37,6 +37,7 @@ struct Snapshot {
     double balance_s{0.0};
     double timing_s{0.0};
     double refine_s{0.0};
+    double reclaim_s{0.0};
     std::uint64_t maze_calls{0};
     std::uint64_t c2f_coarse_routes{0};
     std::uint64_t c2f_refined{0};

@@ -1,0 +1,90 @@
+#include "cts/refine_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace ctsim::cts::refine_detail {
+
+bool read_side(const ClockTree& tree, const delaylib::DelayModel& model,
+               delaylib::EvalCache& ec, int iso, MergeSide& out) {
+    const TreeNode& b = tree.node(iso);
+    if (b.kind != NodeKind::buffer || b.children.size() != 1) return false;
+    out.iso = iso;
+    out.btype = b.buffer_type;
+    out.knob = b.children[0];
+    out.wire = tree.node(out.knob).parent_wire_um;
+    out.load = model.load_type_for_cap(
+        tree.root_input_cap_ff(out.knob, model.technology(), model.buffers()));
+    out.lo = geom::manhattan(b.pos, tree.node(out.knob).pos);
+    out.hi = std::max(out.lo, ec.max_feasible_run(out.btype, out.load));
+    return true;
+}
+
+void ArrivalWindows::rebuild(const ClockTree& tree, int root, const TimingReport& rep) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    mn.assign(tree.size(), kInf);
+    mx.assign(tree.size(), -kInf);
+    dirty.resize(tree.size(), 1);  // marks persist across sweeps
+    for (const SinkTiming& s : rep.sinks) {
+        mn[s.node] = s.arrival_ps;
+        mx[s.node] = s.arrival_ps;
+    }
+    preorder.clear();
+    preorder.push_back(root);
+    for (std::size_t i = 0; i < preorder.size(); ++i)
+        for (int c : tree.node(preorder[i]).children) preorder.push_back(c);
+    // Reversed preorder visits children before parents.
+    for (std::size_t i = preorder.size(); i-- > 1;) {
+        const int n = preorder[i];
+        const int p = tree.node(n).parent;
+        if (p < 0) continue;
+        mn[p] = std::min(mn[p], mn[n]);
+        mx[p] = std::max(mx[p], mx[n]);
+    }
+}
+
+void ArrivalWindows::bump(const ClockTree& tree, int node, double delta_ps) {
+    mn[node] += delta_ps;
+    mx[node] += delta_ps;
+    for (int a = tree.node(node).parent; a >= 0; a = tree.node(a).parent) {
+        dirty[a] = 1;
+        double nmn = std::numeric_limits<double>::infinity();
+        double nmx = -std::numeric_limits<double>::infinity();
+        for (int c : tree.node(a).children) {
+            nmn = std::min(nmn, mn[c]);
+            nmx = std::max(nmx, mx[c]);
+        }
+        mn[a] = nmn;
+        mx[a] = nmx;
+    }
+}
+
+std::vector<std::pair<int, int>> merges_deepest_first(const ClockTree& tree, int root) {
+    std::vector<std::pair<int, int>> merges;  // (-depth, id)
+    std::vector<std::pair<int, int>> dfs{{root, 0}};
+    while (!dfs.empty()) {
+        const auto [n, depth] = dfs.back();
+        dfs.pop_back();
+        if (tree.node(n).kind == NodeKind::merge) merges.push_back({-depth, n});
+        for (int c : tree.node(n).children) dfs.push_back({c, depth + 1});
+    }
+    std::sort(merges.begin(), merges.end());
+    return merges;
+}
+
+double solve_stage_wire(delaylib::EvalCache& ec, int btype, int load, double wlo,
+                        double whi, double target_ps, int iters) {
+    double lo = wlo, hi = whi;
+    for (int it = 0; it < iters; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (ec.stage_delay(btype, load, mid) <= target_ps)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace ctsim::cts::refine_detail

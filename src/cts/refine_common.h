@@ -1,0 +1,83 @@
+// Sweep machinery shared by the top-down post-passes: the skew
+// refinement (skew_refine.h) and the wirelength reclamation
+// (wire_reclaim.h) walk the same merge-route-shaped tree with the
+// same discipline -- deepest-first merge sweeps measured against
+// root-frame arrival windows folded out of ONE IncrementalTiming
+// truth walk per sweep, with every applied move bumping the windows
+// by its model-predicted shift until the next walk replaces the
+// predictions with engine truth. Factoring the window fold, the
+// merge-side reader and the stage-wire bisection here keeps the two
+// passes' measurements structurally identical instead of
+// aspirationally so.
+#ifndef CTSIM_CTS_REFINE_COMMON_H
+#define CTSIM_CTS_REFINE_COMMON_H
+
+#include <utility>
+#include <vector>
+
+#include "cts/clock_tree.h"
+#include "cts/timing.h"
+#include "delaylib/eval_cache.h"
+
+namespace ctsim::cts::refine_detail {
+
+/// One side of a merge-route-shaped merge: the isolation buffer at
+/// the merge point and the stage wire below it (the balance knob).
+/// Plain values, never references -- snaking reallocates the arena.
+struct MergeSide {
+    int iso{-1};    ///< isolation buffer (direct child of the merge)
+    int knob{-1};   ///< iso's only child; its parent wire is the knob
+    int btype{0};   ///< iso's buffer type
+    int load{0};    ///< load type the stage wire drives
+    double wire{0.0};  ///< current electrical stage-wire length
+    double lo{0.0};    ///< geometric lower bound of the knob
+    double hi{0.0};    ///< slew-limited upper bound of the knob
+};
+
+/// Read `iso`'s side of a merge into `out`; false when the node is
+/// not merge-route shaped (not a buffer with exactly one child).
+bool read_side(const ClockTree& tree, const delaylib::DelayModel& model,
+               delaylib::EvalCache& ec, int iso, MergeSide& out);
+
+/// Root-frame arrival windows: per node, [min, max] over the sink
+/// arrivals below it as reported by ONE engine truth walk from the
+/// analysis root. Moves update the windows incrementally with their
+/// model-predicted shift; the next sweep's walk replaces every
+/// prediction with engine truth. Measuring imbalances in the root
+/// frame (instead of re-querying each merge at the assumed slew)
+/// keeps the engine's component keys stable -- per-merge root_timing
+/// queries re-key every component twice per sweep, which costs more
+/// than the whole pass.
+struct ArrivalWindows {
+    std::vector<double> mn, mx;
+    std::vector<int> preorder;  // scratch: root-first traversal
+
+    /// Marks for later-sweep revisit skips: bump() sets the whole
+    /// ancestor path of a move dirty. rebuild() PRESERVES existing
+    /// marks (skew_refine's cross-sweep contract).
+    std::vector<char> dirty;
+
+    void rebuild(const ClockTree& tree, int root, const TimingReport& rep);
+
+    /// Shift the whole window of `node` by `delta_ps` (a stage above
+    /// it got slower/faster), re-fold the ancestor windows and mark
+    /// the whole ancestor path dirty. Descendant windows are NOT
+    /// touched: deepest-first sweeps read them before any ancestor
+    /// moves (skew_refine's usage; wire_reclaim reads windows only at
+    /// sweep start and recomputes everything from its schedule).
+    void bump(const ClockTree& tree, int node, double delta_ps);
+};
+
+/// Merge nodes of the subtree at `root`, deepest-first (children
+/// settle before their parents fold their windows), ties by node id
+/// for determinism. Entries are (-depth, id), sorted.
+std::vector<std::pair<int, int>> merges_deepest_first(const ClockTree& tree, int root);
+
+/// Monotone-increasing bisection: the w in [wlo, whi] whose stage
+/// delay (driver `btype` into `load`) lands on `target_ps`.
+double solve_stage_wire(delaylib::EvalCache& ec, int btype, int load, double wlo,
+                        double whi, double target_ps, int iters);
+
+}  // namespace ctsim::cts::refine_detail
+
+#endif  // CTSIM_CTS_REFINE_COMMON_H

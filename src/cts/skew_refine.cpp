@@ -10,110 +10,31 @@
 #include "cts/incremental_timing.h"
 #include "cts/maze.h"
 #include "cts/phase_profile.h"
+#include "cts/refine_common.h"
 
 namespace ctsim::cts {
 
 namespace {
 
-/// One side of a merge-route-shaped merge: the isolation buffer at
-/// the merge point and the stage wire below it (the balance knob).
-/// Plain values, never references -- snaking reallocates the arena.
-struct MergeSide {
-    int iso{-1};    ///< isolation buffer (direct child of the merge)
-    int knob{-1};   ///< iso's only child; its parent wire is the knob
-    int btype{0};   ///< iso's buffer type
-    int load{0};    ///< load type the stage wire drives
-    double wire{0.0};  ///< current electrical stage-wire length
-    double lo{0.0};    ///< geometric lower bound of the knob
-    double hi{0.0};    ///< slew-limited upper bound of the knob
-};
-
-bool read_side(const ClockTree& tree, const delaylib::DelayModel& model,
-               delaylib::EvalCache& ec, int iso, MergeSide& out) {
-    const TreeNode& b = tree.node(iso);
-    if (b.kind != NodeKind::buffer || b.children.size() != 1) return false;
-    out.iso = iso;
-    out.btype = b.buffer_type;
-    out.knob = b.children[0];
-    out.wire = tree.node(out.knob).parent_wire_um;
-    out.load = model.load_type_for_cap(
-        tree.root_input_cap_ff(out.knob, model.technology(), model.buffers()));
-    out.lo = geom::manhattan(b.pos, tree.node(out.knob).pos);
-    out.hi = std::max(out.lo, ec.max_feasible_run(out.btype, out.load));
-    return true;
-}
+using refine_detail::ArrivalWindows;
+using refine_detail::MergeSide;
+using refine_detail::read_side;
 
 /// A sweep that applies no move against an imbalance above this [ps]
 /// is a fixed point: bottom-up merging already accepted residuals of
 /// this size, and later sweeps could only chase stage-model noise.
 constexpr double kSettlePs = 0.5;
 
-/// Root-frame arrival windows: per node, [min, max] over the sink
-/// arrivals below it as reported by ONE engine truth walk from the
-/// analysis root. Moves update the windows incrementally with their
-/// model-predicted shift; the next sweep's walk replaces every
-/// prediction with engine truth. Measuring imbalances in the root
-/// frame (instead of re-querying each merge at the assumed slew)
-/// keeps the engine's component keys stable -- per-merge root_timing
-/// queries re-key every component twice per sweep, which costs more
-/// than the whole pass.
-struct Windows {
-    std::vector<double> mn, mx;
-    std::vector<int> preorder;  // scratch: root-first traversal
-
-    void rebuild(const ClockTree& tree, int root, const TimingReport& rep) {
-        constexpr double kInf = std::numeric_limits<double>::infinity();
-        mn.assign(tree.size(), kInf);
-        mx.assign(tree.size(), -kInf);
-        dirty.resize(tree.size(), 1);  // marks persist across sweeps
-        for (const SinkTiming& s : rep.sinks) {
-            mn[s.node] = s.arrival_ps;
-            mx[s.node] = s.arrival_ps;
-        }
-        preorder.clear();
-        preorder.push_back(root);
-        for (std::size_t i = 0; i < preorder.size(); ++i)
-            for (int c : tree.node(preorder[i]).children) preorder.push_back(c);
-        // Reversed preorder visits children before parents.
-        for (std::size_t i = preorder.size(); i-- > 1;) {
-            const int n = preorder[i];
-            const int p = tree.node(n).parent;
-            if (p < 0) continue;
-            mn[p] = std::min(mn[p], mn[n]);
-            mx[p] = std::max(mx[p], mx[n]);
-        }
-    }
-
-    /// Marks for the later-sweep skip: a merge whose subtree saw no
-    /// move since it last measured in-tolerance keeps its imbalance
-    /// to first order -- root-frame arrivals of an untouched subtree
-    /// shift by COMMON ancestor-stage terms, which cancel in the
-    /// two-sided difference; the residual is ancestor-trim slew drift
-    /// into the subtree, bounded well under the settle band (and
-    /// buffer swaps, whose slew kick is NOT small, explicitly dirty
-    /// their whole subtree). Sweeps > 1 therefore revisit only the
-    /// spine of merges a bump walked through.
-    std::vector<char> dirty;
-
-    /// Shift the whole window of `node` by `delta_ps` (a stage above
-    /// it got slower/faster), re-fold the ancestor windows and mark
-    /// the whole ancestor path dirty.
-    void bump(const ClockTree& tree, int node, double delta_ps) {
-        mn[node] += delta_ps;
-        mx[node] += delta_ps;
-        for (int a = tree.node(node).parent; a >= 0; a = tree.node(a).parent) {
-            dirty[a] = 1;
-            double nmn = std::numeric_limits<double>::infinity();
-            double nmx = -std::numeric_limits<double>::infinity();
-            for (int c : tree.node(a).children) {
-                nmn = std::min(nmn, mn[c]);
-                nmx = std::max(nmx, mx[c]);
-            }
-            mn[a] = nmn;
-            mx[a] = nmx;
-        }
-    }
-};
+// Root-frame arrival windows (refine_common.h). The dirty marks
+// implement the later-sweep skip: a merge whose subtree saw no move
+// since it last measured in-tolerance keeps its imbalance to first
+// order -- root-frame arrivals of an untouched subtree shift by
+// COMMON ancestor-stage terms, which cancel in the two-sided
+// difference; the residual is ancestor-trim slew drift into the
+// subtree, bounded well under the settle band (and buffer swaps,
+// whose slew kick is NOT small, explicitly dirty their whole
+// subtree). Sweeps > 1 therefore revisit only the spine of merges a
+// bump walked through; rebuild() preserves the marks across sweeps.
 
 /// Re-solve one merge's two-sided balance with a single model shot
 /// against the root-frame windows. Returns true when it moved a knob
@@ -121,7 +42,7 @@ struct Windows {
 /// signal).
 bool refine_merge(ClockTree& tree, int m, const delaylib::DelayModel& model,
                   const SynthesisOptions& opt, IncrementalTiming& engine,
-                  delaylib::EvalCache& ec, Windows& win, SkewRefineStats& stats,
+                  delaylib::EvalCache& ec, ArrivalWindows& win, SkewRefineStats& stats,
                   bool count_visit, bool allow_snake) {
     {
         const TreeNode& node = tree.node(m);
@@ -150,15 +71,8 @@ bool refine_merge(ClockTree& tree, int m, const delaylib::DelayModel& model,
     // Monotone-increasing bisection: the w in [wlo, whi] whose stage
     // delay lands on `target`.
     const auto solve = [&](const MergeSide& s, double wlo, double whi, double target) {
-        double lo = wlo, hi = whi;
-        for (int it = 0; it < opt.binary_search_iters; ++it) {
-            const double mid = 0.5 * (lo + hi);
-            if (sd(s.btype, s.load, mid) <= target)
-                lo = mid;
-            else
-                hi = mid;
-        }
-        return 0.5 * (lo + hi);
+        return refine_detail::solve_stage_wire(ec, s.btype, s.load, wlo, whi, target,
+                                               opt.binary_search_iters);
     };
     // Apply a stage-wire move and return its model-predicted delay
     // shift [ps] (positive = this side got slower; 0 = no move).
@@ -338,22 +252,12 @@ SkewRefineStats refine_skew(ClockTree& tree, int root, const delaylib::DelayMode
     SkewRefineStats stats;
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
 
-    // Merge nodes deepest-first (children settle before their parents
-    // fold their windows), ties by node id for determinism. Snaking
-    // never adds merge nodes, so one list serves every sweep.
-    std::vector<std::pair<int, int>> merges;  // (-depth, id)
-    {
-        std::vector<std::pair<int, int>> dfs{{root, 0}};
-        while (!dfs.empty()) {
-            const auto [n, depth] = dfs.back();
-            dfs.pop_back();
-            if (tree.node(n).kind == NodeKind::merge) merges.push_back({-depth, n});
-            for (int c : tree.node(n).children) dfs.push_back({c, depth + 1});
-        }
-        std::sort(merges.begin(), merges.end());
-    }
+    // Merge nodes deepest-first; snaking never adds merge nodes, so
+    // one list serves every sweep.
+    const std::vector<std::pair<int, int>> merges =
+        refine_detail::merges_deepest_first(tree, root);
 
-    Windows win;
+    ArrivalWindows win;
     const int passes = std::max(1, opt.skew_refine_passes);
     for (int p = 0; p < passes; ++p) {
         // One truth walk per sweep: every window (and every prior

@@ -118,14 +118,18 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     res.root = roots[0];
     res.root_timing = timing.at(res.root);
 
-    // Top-down skew refinement on the finished tree (skew_refine.h).
-    // Serial runs reuse the persistent engine; pooled runs (and the
-    // batch-retimed path) build a fresh one here -- the refinement is
-    // single-threaded either way and engine purity keeps the refined
-    // tree bit-for-bit identical across thread counts. With the
-    // incremental engine disabled the refinement engine runs at an
-    // exact (zero) slew quantum, matching batch re-timing semantics.
-    if (opt.skew_refine) {
+    // Top-down post-passes on the finished tree: skew refinement
+    // (skew_refine.h), then engine-verified wirelength reclamation
+    // (wire_reclaim.h) on the same engine -- reclamation trusts the
+    // engine to verify its batches, so the engine must have seen
+    // every refinement edit. Serial runs reuse the persistent engine;
+    // pooled runs (and the batch-retimed path) build a fresh one here
+    // -- both passes are single-threaded either way and engine purity
+    // keeps the result bit-for-bit identical across thread counts.
+    // With the incremental engine disabled the post-pass engine runs
+    // at an exact (zero) slew quantum, matching batch re-timing
+    // semantics.
+    if (opt.skew_refine || opt.wire_reclaim) {
         IncrementalTiming* eng = engine.get();
         std::unique_ptr<IncrementalTiming> local;
         if (!eng) {
@@ -134,7 +138,9 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             local = std::make_unique<IncrementalTiming>(res.tree, model, topt);
             eng = local.get();
         }
-        res.refine = refine_skew(res.tree, res.root, model, opt, *eng);
+        if (opt.skew_refine) res.refine = refine_skew(res.tree, res.root, model, opt, *eng);
+        if (opt.wire_reclaim)
+            res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng);
         res.root_timing = eng->root_timing(res.root);
     }
 

@@ -26,6 +26,7 @@
 #include "cts/skew_refine.h"
 #include "cts/timing.h"
 #include "cts/topology.h"
+#include "cts/wire_reclaim.h"
 #include "delaylib/delay_model.h"
 
 namespace ctsim::cts {
@@ -43,7 +44,8 @@ struct SynthesisResult {
     int levels{0};
     HStructureStats hstats;
     RootTiming root_timing;  ///< pessimistic model timing at the root
-    SkewRefineStats refine;  ///< what the top-down refinement pass did
+    SkewRefineStats refine;    ///< what the top-down refinement pass did
+    WireReclaimStats reclaim;  ///< what the wirelength reclamation pass did
     double wire_length_um{0.0};
     int buffer_count{0};
 

@@ -1,0 +1,102 @@
+// Engine-verified wirelength reclamation on a finished, skew-refined
+// clock tree (the resolution of ROADMAP's "wirelength chaos band"
+// open item; the double-objective coupling of skew and wirelength
+// follows the multi-objective CTS literature).
+//
+// Aggressive buffer insertion keeps every stage slew-bounded, so the
+// dominant recoverable slack of the finished tree is BALANCE wire:
+// stage wires lengthened past their geometric floor to equalize a
+// merge, and snake stages (pure delay ballast -- a buffer plus a
+// fully-snaked wire at zero geometric span) inserted when the
+// continuous range ran out. WHICH merges carry that ballast is
+// decision-chaotic, which is exactly why the cross-configuration
+// wirelength band (2.4-5.8% across the engine-knob cross-product)
+// stayed open after the skew band was clamped.
+//
+// An UNVERIFIED common-mode reclamation was implemented and reverted
+// in PR 4: the stage-delay model misses downstream slew effects, and
+// compounding the per-path error over a whole pass injected 5-14 ps
+// of imbalance per sweep (skew blew out to 15-42 ps). This pass is
+// the engine-verified schedule that revert called for. The contract
+// (same discipline as skew_refine.h):
+//
+//   * Moves are COMMON-MODE: each sweep walks merges deepest-first
+//     and, at every granted merge, trims both sides by the same
+//     model-predicted delay (consuming stage-wire trim slack and
+//     snake-wire slack, or removing one snake stage outright and
+//     re-solving the stage wire above it). Descendant speed-ups
+//     propagate to ancestors through root-frame arrival windows
+//     (refine_common.h), and every non-granted ancestor a moved
+//     subtree hangs under absorbs the residual with a balance-only
+//     trim (or a stage-wire give-back when its trim range is
+//     exhausted), so in-model the ROOT skew never moves -- the whole
+//     tree just gets faster and shorter.
+//   * Each sweep is a BUDGETED batch: candidates are ranked by
+//     model-predicted reclaimable length and only the top
+//     SynthesisOptions::wire_reclaim_batch merges are granted; the
+//     rest of the sweep only rebalances. The batch is what ONE
+//     IncrementalTiming truth walk must vouch for.
+//   * Verification and rollback: the sweep's walk (which doubles as
+//     the next sweep's measurement -- one walk per sweep, the
+//     discipline refine_skew proved out) checks the ENGINE skew
+//     against the pre-pass skew plus wire_reclaim_skew_tol_ps, and
+//     the worst component slew against the pre-pass worst (or the
+//     synthesis slew target, whichever is larger). A failing batch
+//     is rolled back through recorded inverse edits
+//     (balance.h EditJournal) -- node-for-node exact -- and the
+//     batch is halved before the next attempt, so compounded model
+//     error shrinks the blast radius instead of avalanching like the
+//     reverted PR 4 move. A batch halved to zero ends the pass.
+//   * Wirelength is monotone: granted moves require positive
+//     predicted net reclaim, rebalance give-backs are bounded by the
+//     grants that caused them, and a verified regression of the
+//     total is impossible because every accepted batch's net reclaim
+//     is re-measured on the tree itself (final_wirelength_um).
+//   * Determinism: candidates, grants and solved wire lengths are
+//     pure functions of (tree, model, options); the pass runs
+//     single-threaded after all parallel commits, so serial and
+//     parallel synthesis reclaim to bit-identical trees.
+//   * Phase attribution: the whole pass, engine walks included,
+//     bills to profile::Phase::reclaim.
+#ifndef CTSIM_CTS_WIRE_RECLAIM_H
+#define CTSIM_CTS_WIRE_RECLAIM_H
+
+#include "cts/clock_tree.h"
+#include "cts/options.h"
+#include "delaylib/delay_model.h"
+
+namespace ctsim::cts {
+
+class IncrementalTiming;  // incremental_timing.h
+
+/// What the reclamation pass did, for tests and the bench harness.
+struct WireReclaimStats {
+    int passes{0};             ///< verified sweeps (<= wire_reclaim_passes)
+    int batches_accepted{0};   ///< sweeps whose batch survived verification
+    int batches_rolled_back{0};  ///< sweeps undone and halved
+    int trims{0};              ///< stage/snake wire length edits (incl. give-backs)
+    int snake_removals{0};     ///< ballast stages removed
+    double reclaimed_um{0.0};  ///< verified net wirelength removed
+    double initial_skew_ps{0.0};  ///< engine root skew before the pass
+    double final_skew_ps{0.0};    ///< engine root skew after the pass
+    double initial_wirelength_um{0.0};
+    double final_wirelength_um{0.0};
+};
+
+/// Reclaim balance wire from the finished tree rooted at `root`.
+/// `engine` must be an IncrementalTiming attached to `tree` and
+/// consistent with it (all prior edits notified); the pass keeps it
+/// consistent, including across rollbacks. Invoked by synthesize()
+/// after refine_skew when SynthesisOptions::wire_reclaim is set;
+/// callable directly on any tree with merge_route-shaped merges.
+/// Common-mode (insertion-delay) reclamation is seeded only when
+/// `root` is a whole tree (parentless) with a unique topmost merge:
+/// for a SUBTREE root the pass cannot verify the parent merge its
+/// latency shift would unbalance, so such calls conservatively
+/// reclaim only through balance fixes.
+WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayModel& model,
+                              const SynthesisOptions& opt, IncrementalTiming& engine);
+
+}  // namespace ctsim::cts
+
+#endif  // CTSIM_CTS_WIRE_RECLAIM_H

@@ -1,0 +1,24 @@
+// Tiny formatting helpers shared across the library, tools and
+// tests.
+#ifndef CTSIM_UTIL_NAMES_H
+#define CTSIM_UTIL_NAMES_H
+
+#include <cstdio>
+#include <string>
+
+namespace ctsim::util {
+
+/// "<prefix><n>" formatted into a stack buffer. Exists because
+/// composing these names as `prefix + std::to_string(n)` trips GCC
+/// 12's -Wrestrict false positive (PR105651) however the
+/// concatenation is spelled; retire the helper's rationale (not
+/// necessarily the helper) when the toolchain moves past it.
+inline std::string indexed_name(const char* prefix, long long n) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%lld", prefix, n);
+    return buf;
+}
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_NAMES_H

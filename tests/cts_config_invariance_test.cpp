@@ -18,18 +18,21 @@
 // the spreads on the HONEST metric: batch analyze with propagated
 // slews, independent of any engine's internal representation.
 //
-// On the wirelength band: the refinement pass edits only the
-// decoupled balance-stage wires, so the cross-configuration
-// wirelength spread it CAN close is the balance-slack share; the
-// rest is routing/snake decision chaos upstream of the pass
-// (measured 2.4-5.8% across this cross-product). An attempted
-// common-mode slack-reclamation move was reverted: its stage-model
-// predictions miss downstream slew effects, and the compounded error
-// blew the skew band to 15-40 ps (see ROADMAP open item). The bound
-// here pins the MEASURED band with cross-toolchain headroom so a new
-// configuration diverging further still fails; tightening it to the
-// issue's +-2% goal awaits an engine-verified wire-canonicalization
-// pass.
+// On the wirelength band (closed in PR 5, tightened 8% -> 4%): the
+// band had two sources. The ENGINE-DECISION chaos -- the 0.25 ps
+// slew quantum landing merge decisions away from the exact oracle's
+// -- was the dominant axis (PR 5 measured 4.3-5.8% across this
+// cross-product with the quantized default vs 1.7-3.1% exact) and is
+// gone because the shipped engine is now exact
+// (timing_slew_quantum_ps = 0). The recoverable ELECTRICAL slack is
+// reclaimed by the engine-verified wire_reclaim pass (default on
+// here). What remains is maze-lever route chaos, which is GEOMETRIC
+// (different meet cells and trace floors, measured in the manhattan
+// sums themselves) and therefore not reachable by any post-pass that
+// keeps node positions -- the pinned 4% covers it with headroom.
+// The suite also pins the reclamation pass's monotonicity: with the
+// pass on, every configuration's wirelength must stay at or below
+// its pass-off wirelength (which subsumes mean-never-worse).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -61,17 +64,20 @@ const std::vector<Instance>& instances() {
     return kInstances;
 }
 
-/// Acceptance bands (ISSUE 4 / ROADMAP): per-instance spread across
-/// the knob cross-product with skew_refine on. Skew is the clamp the
-/// pass delivers (measured bands <= 2.7 ps); the wirelength bound is
-/// the measured decision-chaos band plus headroom (see header).
+/// Acceptance bands (ISSUE 5 / ROADMAP): per-instance spread across
+/// the knob cross-product with skew_refine + wire_reclaim on and the
+/// exact engine. Skew is the clamp the refinement pass delivers
+/// (measured bands <= 2.7 ps); the wirelength bound covers the
+/// remaining maze-lever route chaos (measured 1.7-3.1%) with
+/// headroom (see header).
 constexpr double kSkewBandPs = 4.0;
-constexpr double kWirelengthBandRel = 0.08;
+constexpr double kWirelengthBandRel = 0.04;
 
 struct ConfigResult {
     std::string label;
     double skew_ps{0.0};
     double wirelength_um{0.0};
+    double wirelength_noreclaim_um{0.0};  ///< same config, wire_reclaim off
 };
 
 std::vector<ConfigResult> sweep_configs(const Instance& inst) {
@@ -84,7 +90,7 @@ std::vector<ConfigResult> sweep_configs(const Instance& inst) {
 
     std::vector<ConfigResult> results;
     for (int mask = 0; mask < 16; ++mask) {
-        SynthesisOptions o;  // defaults: skew_refine on
+        SynthesisOptions o;  // defaults: skew_refine + wire_reclaim on
         o.use_incremental_timing = (mask & 1) != 0;
         o.maze_delay_rows = (mask & 2) != 0;
         o.maze_bucket_frontier = (mask & 4) != 0;
@@ -98,12 +104,19 @@ std::vector<ConfigResult> sweep_configs(const Instance& inst) {
 
         const SynthesisResult res = synthesize(sinks, fitted_quick(), o);
         EXPECT_TRUE(o.skew_refine);
+        EXPECT_TRUE(o.wire_reclaim);
         EXPECT_GT(res.refine.merges_visited, 0) << inst.name << " " << r.label;
 
         const RootTiming honest = subtree_timing(res.tree, res.root, fitted_quick(),
                                                  o.assumed_slew(), /*propagate=*/true);
         r.skew_ps = honest.max_ps - honest.min_ps;
         r.wirelength_um = res.wire_length_um;
+        // The pass runs strictly after synthesis+refinement, so its
+        // own pre-pass measurement IS the wirelength this config
+        // produces with wire_reclaim off (flag plumbing is pinned
+        // separately by cts_wire_reclaim_test) -- no second
+        // synthesize() needed.
+        r.wirelength_noreclaim_um = res.reclaim.initial_wirelength_um;
         results.push_back(std::move(r));
     }
     return results;
@@ -138,6 +151,15 @@ TEST_P(ConfigInvariance, SkewAndWirelengthSpreadsStayClamped) {
         << inst.name << ": wirelength spread exceeded "
         << 100.0 * kWirelengthBandRel << "% across configs:\n"
         << table;
+
+    // The reclamation pass must never worsen wirelength: per config
+    // it only ever trims (verified batches of inverse-recorded
+    // edits). Asserted per configuration, which subsumes the
+    // mean-wirelength-never-worse acceptance criterion.
+    for (const ConfigResult& r : results) {
+        EXPECT_LE(r.wirelength_um, r.wirelength_noreclaim_um + 1e-6)
+            << inst.name << " " << r.label << ": wire_reclaim ADDED wirelength";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(KnobCrossProduct, ConfigInvariance, testing::ValuesIn(instances()),

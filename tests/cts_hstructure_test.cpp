@@ -29,7 +29,7 @@ struct Fixture {
         SynthesisOptions o;
         std::array<int, 4> s{};
         for (int i = 0; i < 4; ++i) {
-            s[i] = tree.add_sink(pts[i], 12.0, "s" + std::to_string(i));
+            s[i] = tree.add_sink(pts[i], 12.0, util::indexed_name("s", i));
             timing[s[i]] = {0, 0};
         }
         const MergeRecord m1 = merge_route(tree, s[0], s[1], {0, 0}, {0, 0}, m, o);

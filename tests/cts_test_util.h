@@ -8,6 +8,7 @@
 #include <random>
 
 #include "cts/synthesizer.h"
+#include "util/names.h"
 #include "delaylib/analytic_model.h"
 #include "delaylib/fitted_library.h"
 
@@ -50,7 +51,7 @@ inline std::vector<cts::SinkSpec> random_sinks(int count, double span_um, unsign
     std::vector<cts::SinkSpec> sinks;
     sinks.reserve(count);
     for (int i = 0; i < count; ++i)
-        sinks.push_back({{coord(rng), coord(rng)}, cap(rng), "s" + std::to_string(i)});
+        sinks.push_back({{coord(rng), coord(rng)}, cap(rng), util::indexed_name("s", i)});
     return sinks;
 }
 

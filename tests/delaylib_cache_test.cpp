@@ -95,7 +95,9 @@ TEST(EvalCache, ChooseBufferMatchesDirectAtQuantizedRun) {
             const auto direct =
                 cts::choose_buffer(m, l, ec.quantize(run), 80.0, 80.0, true);
             EXPECT_EQ(cached.has_value(), direct.has_value()) << "l=" << l << " run=" << run;
-            if (cached && direct) EXPECT_EQ(*cached, *direct);
+            if (cached && direct) {
+                EXPECT_EQ(*cached, *direct);
+            }
         }
     }
 }

@@ -13,12 +13,14 @@ thresholds:
     machine-speed yardstick.
   * wirelength: > 3% on any mode (solution quality; machine
     independent, so compared raw).
-  * refined skew: the refine/refine_parallel modes carry the
-    top-down skew-refinement clamp, whose whole point is a stable
-    skew band; any instance whose refined skew exceeds the committed
-    baseline's by more than SKEW_SLACK_PS fails (machine independent,
-    compared raw; other modes stay ungated -- their skews are
-    decision-chaotic by design).
+  * refined skew: the refine* and reclaim* modes carry the top-down
+    skew-refinement clamp (the reclaim modes additionally the
+    engine-verified wirelength reclamation, whose batches are rolled
+    back beyond a skew budget), and the whole point of both passes is
+    a stable skew band; any instance whose skew in those modes
+    exceeds the committed baseline's by more than SKEW_SLACK_PS fails
+    (machine independent, compared raw; other modes stay ungated --
+    their skews are decision-chaotic by design).
 
 Instances or modes present in only one file are reported and skipped
 (the guard must not block adding instances/modes). Per-instance
@@ -52,8 +54,14 @@ def main():
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
-    fresh = by_name(json.load(open(sys.argv[1])))
-    base = by_name(json.load(open(sys.argv[2])))
+    try:
+        fresh = by_name(json.load(open(sys.argv[1])))
+        base = by_name(json.load(open(sys.argv[2])))
+    except (OSError, ValueError) as exc:
+        # A malformed or missing input must fail loudly as a usage
+        # error (exit 2), not masquerade as a pass/regression verdict.
+        print(f"error: cannot load benchmark JSON: {exc}")
+        return 2
 
     failures = []
     checked = 0
@@ -79,7 +87,7 @@ def main():
                     f"(+{100.0 * (fw / bw - 1.0):.1f}% > "
                     f"{100.0 * (WIRELENGTH_REGRESSION - 1.0):.0f}%)")
 
-            if mode.startswith("refine"):
+            if mode.startswith(("refine", "reclaim")):
                 fs, bs = fm.get("skew_ps", 0.0), bm.get("skew_ps", 0.0)
                 if fs > bs + SKEW_SLACK_PS:
                     failures.append(
@@ -115,6 +123,12 @@ def main():
         for fmsg in failures:
             print("  " + fmsg)
         return 1
+    if checked == 0:
+        # A well-formed document with nothing comparable (interrupted
+        # harness, renamed instances/modes) must not masquerade as a
+        # green gate.
+        print("error: no comparable instance/mode pairs between fresh and baseline")
+        return 2
     print(f"perf guard OK: {checked} instance/mode checks within thresholds")
     return 0
 

@@ -1,0 +1,140 @@
+"""Tests for tools/check_bench_regression.py -- the perf/quality gate
+every merge runs through, which was itself untested until PR 5.
+
+Runs the script as a subprocess (it is a CLI; its exit code IS its
+contract): 0 = within thresholds, 1 = regression, 2 = usage/input
+error. Written for pytest (registered in ctest when pytest is
+available); the __main__ fallback runs the same test functions under
+plain python3 so the suite still gates in pytest-less environments.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def make_instance(name, seed_s=1.0, mode_s=0.2, wirelength=1000.0, skew=2.0,
+                  modes=("opt", "refine")):
+    inst = {"name": name,
+            "seed": {"seconds": seed_s, "wirelength_um": wirelength, "skew_ps": 8.0}}
+    for m in modes:
+        inst[m] = {"seconds": mode_s, "wirelength_um": wirelength, "skew_ps": skew}
+    return inst
+
+
+def run_guard(fresh_doc, baseline_doc, raw_fresh=None):
+    with tempfile.TemporaryDirectory() as td:
+        fresh = os.path.join(td, "fresh.json")
+        base = os.path.join(td, "baseline.json")
+        with open(fresh, "w") as f:
+            f.write(raw_fresh if raw_fresh is not None else json.dumps(fresh_doc))
+        with open(base, "w") as f:
+            json.dump(baseline_doc, f)
+        proc = subprocess.run([sys.executable, SCRIPT, fresh, base],
+                              capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def test_identical_runs_pass():
+    doc = {"instances": [make_instance("a"), make_instance("b")]}
+    rc, out = run_guard(doc, doc)
+    assert rc == 0, out
+    assert "perf guard OK" in out
+
+
+def test_wall_clock_regression_fails_beyond_15_percent():
+    base = {"instances": [make_instance("a", seed_s=1.0, mode_s=0.2)]}
+    # Normalized time 0.2 -> 0.24 (+20% > 15%) on a mode above the
+    # per-instance floor.
+    fresh = {"instances": [make_instance("a", seed_s=1.0, mode_s=0.24)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "wall-clock" in out
+
+
+def test_wall_clock_within_15_percent_passes():
+    base = {"instances": [make_instance("a", seed_s=1.0, mode_s=0.2)]}
+    fresh = {"instances": [make_instance("a", seed_s=1.0, mode_s=0.22)]}  # +10%
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+
+
+def test_machine_speed_is_normalized_out():
+    base = {"instances": [make_instance("a", seed_s=1.0, mode_s=0.2)]}
+    # A machine 2x slower across the board must not trip the guard.
+    fresh = {"instances": [make_instance("a", seed_s=2.0, mode_s=0.4)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+
+
+def test_wirelength_regression_fails_beyond_3_percent():
+    base = {"instances": [make_instance("a", wirelength=1000.0)]}
+    fresh = {"instances": [make_instance("a", wirelength=1040.0)]}  # +4% > 3%
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "wirelength" in out
+
+
+def test_refine_skew_gate_fails_beyond_one_picosecond():
+    base = {"instances": [make_instance("a", skew=2.0)]}
+    fresh = {"instances": [make_instance("a", skew=3.5)]}  # +1.5 ps > 1 ps
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "skew" in out
+
+
+def test_reclaim_mode_skew_is_gated_too():
+    base = {"instances": [make_instance("a", modes=("reclaim",), skew=2.0)]}
+    fresh = {"instances": [make_instance("a", modes=("reclaim",), skew=3.5)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "skew" in out
+
+
+def test_non_refine_modes_skew_is_not_gated():
+    base = {"instances": [make_instance("a", modes=("opt",), skew=2.0)]}
+    fresh = {"instances": [make_instance("a", modes=("opt",), skew=9.0)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out  # decision-chaotic modes stay ungated
+
+
+def test_missing_instances_and_modes_are_skipped_not_failed():
+    base = {"instances": [make_instance("a"), make_instance("gone")]}
+    fresh = {"instances": [make_instance("a")]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+    assert "skipped" in out
+
+
+def test_empty_but_wellformed_document_is_a_usage_error():
+    # An interrupted harness or renamed instances must not produce a
+    # green gate with zero checks.
+    base = {"instances": [make_instance("a")]}
+    rc, out = run_guard({}, base)
+    assert rc == 2, out
+    assert "no comparable" in out
+
+
+def test_malformed_json_is_a_usage_error():
+    base = {"instances": [make_instance("a")]}
+    rc, out = run_guard(None, base, raw_fresh="{not json")
+    assert rc == 2, out
+    assert "cannot load" in out
+
+
+if __name__ == "__main__":
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAIL {name}: {exc}")
+    sys.exit(1 if failures else 0)
