@@ -1,11 +1,14 @@
 #include "bench_io/parsers.h"
 
 #include "util/names.h"
+#include "util/status.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <istream>
-#include <sstream>
-#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ctsim::bench_io {
 
@@ -18,13 +21,78 @@ bool is_number(const std::string& tok) {
     return end == tok.c_str() + tok.size();
 }
 
-[[noreturn]] void fail(int line_no, const std::string& what) {
-    throw std::runtime_error("parse error at line " + std::to_string(line_no) + ": " + what);
+/// A token plus where it started (1-based line and column).
+struct Tok {
+    std::string text;
+    int line{0};
+    int col{0};
+};
+
+/// Split one line into tokens, remembering each token's start column.
+std::vector<Tok> split_line(const std::string& line, int line_no) {
+    std::vector<Tok> toks;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i >= line.size()) break;
+        const std::size_t start = i;
+        while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        toks.push_back({line.substr(start, i - start), line_no,
+                        static_cast<int>(start) + 1});
+    }
+    return toks;
 }
+
+[[noreturn]] void fail(const std::string& filename, int line, int col,
+                       const std::string& what) {
+    util::throw_status(util::Status::invalid_input(what).at(filename, line, col));
+}
+
+/// Streaming tokenizer for the token-shaped ISPD format: hands out
+/// whitespace-separated tokens with the line/column they started at.
+class Tokenizer {
+  public:
+    explicit Tokenizer(std::istream& is) : is_(is) {}
+
+    bool next(Tok& out) {
+        int c;
+        while ((c = is_.get()) != EOF && std::isspace(c)) advance(c);
+        if (c == EOF) return false;
+        out.line = line_;
+        out.col = col_;
+        out.text.clear();
+        do {
+            out.text.push_back(static_cast<char>(c));
+            advance(c);
+        } while ((c = is_.get()) != EOF && !std::isspace(c));
+        if (c != EOF) advance(c);
+        last_ = {out.line, out.col};
+        return true;
+    }
+
+    /// Location of the most recent token (for truncation errors).
+    std::pair<int, int> last() const { return last_; }
+    std::pair<int, int> here() const { return {line_, col_}; }
+
+  private:
+    void advance(int c) {
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+    }
+
+    std::istream& is_;
+    int line_{1};
+    int col_{1};
+    std::pair<int, int> last_{1, 1};
+};
 
 }  // namespace
 
-std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is) {
+std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is, const std::string& filename) {
     std::vector<cts::SinkSpec> sinks;
     std::string line;
     int line_no = 0;
@@ -32,65 +100,84 @@ std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is) {
         ++line_no;
         const auto hash = line.find('#');
         if (hash != std::string::npos) line = line.substr(0, hash);
-        std::istringstream ls(line);
-        std::vector<std::string> toks;
-        for (std::string t; ls >> t;) toks.push_back(t);
+        const std::vector<Tok> toks = split_line(line, line_no);
         if (toks.empty()) continue;
         // Header lines ("NumSinks : 267" etc.) contain a ':' token or a
         // non-numeric keyword pair; skip them.
         bool header = false;
-        for (const std::string& t : toks)
-            if (t == ":") header = true;
+        for (const Tok& t : toks)
+            if (t.text == ":") header = true;
         if (header) continue;
 
         cts::SinkSpec s;
-        if (toks.size() == 3 && is_number(toks[0])) {
-            s.pos = {std::stod(toks[0]), std::stod(toks[1])};
-            s.cap_ff = std::stod(toks[2]);
+        const Tok* cap_tok = nullptr;
+        if (toks.size() == 3 && is_number(toks[0].text)) {
+            s.pos = {std::stod(toks[0].text), std::stod(toks[1].text)};
+            s.cap_ff = std::stod(toks[2].text);
+            cap_tok = &toks[2];
             s.name = util::indexed_name("s", static_cast<long long>(sinks.size()));
-        } else if (toks.size() == 4 && is_number(toks[1]) && is_number(toks[2]) &&
-                   is_number(toks[3])) {
-            s.name = toks[0];
-            s.pos = {std::stod(toks[1]), std::stod(toks[2])};
-            s.cap_ff = std::stod(toks[3]);
+        } else if (toks.size() == 4 && is_number(toks[1].text) && is_number(toks[2].text) &&
+                   is_number(toks[3].text)) {
+            s.name = toks[0].text;
+            s.pos = {std::stod(toks[1].text), std::stod(toks[2].text)};
+            s.cap_ff = std::stod(toks[3].text);
+            cap_tok = &toks[3];
         } else {
-            fail(line_no, "expected 'x y cap' or 'name x y cap'");
+            fail(filename, line_no, toks[0].col, "expected 'x y cap' or 'name x y cap'");
         }
-        if (s.cap_ff <= 0.0) fail(line_no, "sink capacitance must be positive");
+        if (s.cap_ff <= 0.0)
+            fail(filename, line_no, cap_tok->col, "sink capacitance must be positive");
         sinks.push_back(std::move(s));
     }
-    if (sinks.empty()) throw std::runtime_error("GSRC BST file contains no sinks");
+    if (sinks.empty()) fail(filename, line_no, 0, "GSRC BST file contains no sinks");
     return sinks;
 }
 
-std::vector<cts::SinkSpec> parse_ispd09(std::istream& is) {
+std::vector<cts::SinkSpec> parse_ispd09(std::istream& is, const std::string& filename) {
     std::vector<cts::SinkSpec> sinks;
-    std::string tok;
-    int expected = -1;
-    while (is >> tok) {
-        if (tok == "num") {
-            std::string kind;
-            is >> kind;
-            if (kind == "sink") {
-                is >> expected;
-                if (!is || expected <= 0)
-                    throw std::runtime_error("ispd09: bad 'num sink' count");
+    Tokenizer tz(is);
+    Tok tok;
+    while (tz.next(tok)) {
+        if (tok.text == "num") {
+            Tok kind;
+            if (!tz.next(kind)) break;
+            if (kind.text == "sink") {
+                Tok count;
+                if (!tz.next(count) || !is_number(count.text) ||
+                    std::stod(count.text) <= 0.0 ||
+                    std::stod(count.text) != static_cast<int>(std::stod(count.text))) {
+                    const auto [l, c] = tz.last();
+                    fail(filename, l, c, "ispd09: bad 'num sink' count");
+                }
+                const int expected = static_cast<int>(std::stod(count.text));
                 for (int i = 0; i < expected; ++i) {
-                    std::string id;
-                    double x = 0, y = 0, cap = 0;
-                    if (!(is >> id >> x >> y >> cap))
-                        throw std::runtime_error("ispd09: truncated sink section");
-                    sinks.push_back({{x, y}, cap, id});
+                    Tok id, xs, ys, caps;
+                    if (!tz.next(id) || !tz.next(xs) || !tz.next(ys) || !tz.next(caps)) {
+                        const auto [l, c] = tz.last();
+                        fail(filename, l, c, "ispd09: truncated sink section");
+                    }
+                    if (!is_number(xs.text))
+                        fail(filename, xs.line, xs.col,
+                             "ispd09: sink x coordinate is not a number");
+                    if (!is_number(ys.text))
+                        fail(filename, ys.line, ys.col,
+                             "ispd09: sink y coordinate is not a number");
+                    if (!is_number(caps.text))
+                        fail(filename, caps.line, caps.col,
+                             "ispd09: sink capacitance is not a number");
+                    sinks.push_back({{std::stod(xs.text), std::stod(ys.text)},
+                                     std::stod(caps.text),
+                                     id.text});
                 }
             } else {
-                int count = 0;
-                is >> count;  // skip other sections' counts; their lines
-                              // are consumed lazily by the token loop
+                Tok count;
+                tz.next(count);  // skip other sections' counts; their lines
+                                 // are consumed lazily by the token loop
             }
         }
         // all other tokens are skipped
     }
-    if (sinks.empty()) throw std::runtime_error("ispd09: no sink section found");
+    if (sinks.empty()) fail(filename, 0, 0, "ispd09: no sink section found");
     return sinks;
 }
 

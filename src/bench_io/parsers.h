@@ -8,6 +8,12 @@
 //  * ISPD 2009 CNS contest (.def-like subset): a "num sink N" section
 //    followed by "id x y cap" lines; other sections are skipped.
 //
+// Malformed input raises util::Error{invalid_input} whose Status
+// carries a file:line:column location (the optional `filename`
+// argument names the file in diagnostics; omitted it prints as
+// "<input>"). Error derives from std::runtime_error, so pre-taxonomy
+// catch sites keep working.
+//
 // The repository's experiments run on the synthetic instances from
 // synthetic.h because the original files are not redistributable; the
 // parsers are part of the public API for downstream users.
@@ -15,18 +21,23 @@
 #define CTSIM_BENCH_IO_PARSERS_H
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "cts/synthesizer.h"
 
 namespace ctsim::bench_io {
 
-/// Parse a GSRC BST sink list. Throws std::runtime_error with a line
-/// number on malformed input.
-std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is);
+/// Parse a GSRC BST sink list. Throws util::Error{invalid_input}
+/// with a file:line:column location on malformed input.
+std::vector<cts::SinkSpec> parse_gsrc_bst(std::istream& is,
+                                          const std::string& filename = {});
 
-/// Parse the sink section of an ISPD 2009 CNS benchmark.
-std::vector<cts::SinkSpec> parse_ispd09(std::istream& is);
+/// Parse the sink section of an ISPD 2009 CNS benchmark. Throws
+/// util::Error{invalid_input} with a file:line:column location on
+/// malformed input.
+std::vector<cts::SinkSpec> parse_ispd09(std::istream& is,
+                                        const std::string& filename = {});
 
 }  // namespace ctsim::bench_io
 

@@ -4,9 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace ctsim::cts {
 
 int ClockTree::add_node(NodeKind kind, geom::Pt pos) {
+    // Fault probe standing in for arena exhaustion (vector growth
+    // failure): surfaces as a structured resource_exhaustion error,
+    // which the fault tests drive through both the serial merge loop
+    // and the pool's lowest-index rethrow.
+    if (util::fault_fire(util::FaultSite::tree_alloc_fail))
+        util::throw_status(util::Status::resource_exhaustion(
+            "clock tree: node arena allocation failed (injected)"));
     TreeNode n;
     n.kind = kind;
     n.pos = pos;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/fault_injection.h"
+
 namespace ctsim::cts {
 
 IncrementalTiming::IncrementalTiming(const ClockTree& tree, const delaylib::DelayModel& model,
@@ -49,6 +51,15 @@ void IncrementalTiming::dirty_above(int node) {
 
 void IncrementalTiming::wire_changed(int node) {
     ensure_size();
+    // Fault probe for the notification edge case: degrade the precise
+    // path invalidation to the conservative whole-subtree one.
+    // subtree_replaced invalidates a superset of wire_changed's dirty
+    // set, so results must stay bit-identical -- the fault tests
+    // assert exactly that (over-invalidation is always safe).
+    if (util::fault_fire(util::FaultSite::engine_notify_conservative)) {
+        subtree_replaced(node);
+        return;
+    }
     dirty_above(node);
 }
 

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
 #include "cts/maze_rows.h"
 #include "cts/phase_profile.h"
 #include "delaylib/eval_cache.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 
 namespace ctsim::cts {
 
@@ -469,6 +472,11 @@ constexpr int kStaleRingLimit = 10;
 /// Bucket width of the cost-ordered frontier [ps].
 constexpr double kBucketWidthPs = 2.0;
 
+/// Cancellation poll interval of the bucket frontier, in pops. Polls
+/// are one relaxed load plus a counter bump, so the interval bounds
+/// reaction latency (a few hundred relaxations) rather than cost.
+constexpr int kCancelPollPops = 256;
+
 /// Coarse-to-fine configuration: coarsening factor, minimum fine-grid
 /// dimension for the two-level route to engage, and corridor radius
 /// (Chebyshev, in fine cells) around the coarse path. The radius must
@@ -511,6 +519,11 @@ bool route_on_grid(const geom::RoutingGrid& grid, const RouteEndpoint& a,
                    const RouteEndpoint& b, const delaylib::DelayModel& model,
                    const SynthesisOptions& opt, delaylib::EvalCache& ec,
                    const DelayRows* rows, const Corridor* corridor, MazeResult& out) {
+    // Fault probe: a fired site reports this grid level infeasible,
+    // driving the c2f fallback (coarse pass) or the structured
+    // infeasible_route error (full grid) in maze_route.
+    if (util::fault_fire(util::FaultSite::maze_route_infeasible)) return false;
+
     RouteScratch& sc = route_scratch();
     const std::uint32_t epoch = sc.next_epoch();
     SideDp dp1(grid, a, model, rows, corridor, ec, sc.pool1, epoch);
@@ -570,7 +583,24 @@ bool route_on_grid(const geom::RoutingGrid& grid, const RouteEndpoint& a,
         // that, so the streak then measures a genuine stall).
         const int stale_limit = 2 * (grid.nx() + grid.ny()) + 48;
         int stale_pops = 0;
+        // Cooperative cancellation: poll every kCancelPollPops pops;
+        // once tripped, stop at the first incumbent meet (a valid,
+        // merely off-optimum route) instead of draining the frontier.
+        util::CancelToken* const cancel = opt.cancel;
+        bool tripped = cancel && cancel->cancelled();
+        int polls_until = kCancelPollPops;
         while (true) {
+            if (cancel) {
+                if (!tripped && --polls_until <= 0) {
+                    polls_until = kCancelPollPops;
+                    tripped = cancel->checked();
+                }
+                if (tripped && inc.best_idx >= 0) {
+                    out.degraded = true;
+                    profile::count_event(profile::Counter::maze_degraded);
+                    break;
+                }
+            }
             const double f1 = q1.floor();
             const double f2 = q2.floor();
             if (f1 == kInf && f2 == kInf) break;
@@ -643,7 +673,15 @@ bool route_on_grid(const geom::RoutingGrid& grid, const RouteEndpoint& a,
         if (s1 == s2) inc.offer(grid.index(s1), dp1.delay_at(s1), dp2.delay_at(s2));
         const int last_ring = std::max(dp1.max_ring(), dp2.max_ring());
         int stale_rings = 0;
+        util::CancelToken* const cancel = opt.cancel;
         for (int r = 1; r <= last_ring; ++r) {
+            // One cancellation poll per ring: past the trip, keep the
+            // first incumbent meet rather than expanding further.
+            if (cancel && inc.best_idx >= 0 && cancel->checked()) {
+                out.degraded = true;
+                profile::count_event(profile::Counter::maze_degraded);
+                break;
+            }
             dp1.relax_ring(r);
             dp2.relax_ring(r);
 
@@ -825,10 +863,17 @@ MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
             }
         }
         profile::count_event(profile::Counter::c2f_fallbacks);
+        out.c2f_fallback = true;
     }
 
-    if (!route_on_grid(grid, a, b, model, opt, ec, rows, nullptr, out))
-        throw std::runtime_error("maze: no feasible meet cell");
+    if (!route_on_grid(grid, a, b, model, opt, ec, rows, nullptr, out)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "maze: no feasible meet cell between (%.1f, %.1f) and (%.1f, %.1f) "
+                      "at slew target %.1f ps",
+                      a.pos.x, a.pos.y, b.pos.x, b.pos.y, opt.slew_target_ps);
+        util::throw_status(util::Status::infeasible_route(buf));
+    }
     return out;
 }
 

@@ -41,9 +41,18 @@
 //     at full resolution inside a corridor around the coarse path.
 //     FALLBACK: when the coarse pass finds no meet (a coarse pitch
 //     can exceed every buffer's feasible run) or the corridor route
-//     fails, the router silently re-routes on the plain full grid --
+//     fails, the router re-routes on the plain full grid --
 //     maze_route never degrades its result availability, only its
-//     speed. Both conditions are counted in profile::Snapshot.
+//     speed. Both conditions are counted in profile::Snapshot and the
+//     fallback is surfaced on MazeResult::c2f_fallback so the
+//     synthesis report can aggregate a warning.
+//   * Cooperative cancellation (SynthesisOptions::cancel): the
+//     early-exit expansions poll the token at bounded intervals; once
+//     it trips they stop at the first incumbent meet instead of
+//     exhausting the frontier (MazeResult::degraded). The route stays
+//     valid -- only its optimality degrades. The dense reference path
+//     (maze_early_exit off) is an ablation mode and ignores the
+//     token: its full-grid scan needs complete expansions.
 #ifndef CTSIM_CTS_MAZE_H
 #define CTSIM_CTS_MAZE_H
 
@@ -116,9 +125,20 @@ struct MazeResult {
     /// tail runs (virtual largest-type driver at the meet).
     double d1_ps{0.0};
     double d2_ps{0.0};
+    /// The coarse-to-fine route fell back to the plain full grid
+    /// (coarse pass or corridor infeasible); the result is a working
+    /// full-resolution route, this only surfaces the slow path so the
+    /// synthesis report can warn about it.
+    bool c2f_fallback{false};
+    /// A tripped CancelToken closed the expansion early on the best
+    /// incumbent meet: still a valid routed merge, but the frontier
+    /// was not exhausted so the meet may be off-optimum.
+    bool degraded{false};
 };
 
 /// Route two endpoints toward a minimum-|delay difference| meet cell.
+/// Throws util::Error{infeasible_route} when even the full grid holds
+/// no cell both sides can reach within the slew target.
 MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
                       const delaylib::DelayModel& model, const SynthesisOptions& opt);
 

@@ -109,6 +109,8 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     const RouteEndpoint ea = endpoint_for(tree, ra, tra, model, opt);
     const RouteEndpoint eb = endpoint_for(tree, rb, trb, model, opt);
     const MazeResult mz = maze_route(ea, eb, model, opt);
+    rec.c2f_fallback = mz.c2f_fallback;
+    rec.degraded_route = mz.degraded;
 
     const std::vector<double> cum1 = trace_cum(mz.side1);
     const std::vector<double> cum2 = trace_cum(mz.side2);

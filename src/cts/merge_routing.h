@@ -24,6 +24,12 @@ struct MergeRecord {
     RootTiming timing;    ///< cached pessimistic subtree timing
     int snake_stages{0};
     double residual_diff_ps{0.0};  ///< |d1-d2| left after binary search
+    /// Surfaced routing-quality flags (MazeResult pass-through): the
+    /// coarse-to-fine route fell back to the full grid, or a tripped
+    /// CancelToken closed the expansion on its incumbent meet. The
+    /// synthesizer aggregates both into SynthesisResult::diagnostics.
+    bool c2f_fallback{false};
+    bool degraded_route{false};
 };
 
 /// Merge the subtrees rooted at `a` and `b`. When `engine` is given

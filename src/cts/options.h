@@ -2,6 +2,8 @@
 #ifndef CTSIM_CTS_OPTIONS_H
 #define CTSIM_CTS_OPTIONS_H
 
+#include "util/cancel.h"
+
 namespace ctsim::cts {
 
 enum class HStructureMode {
@@ -170,6 +172,24 @@ struct SynthesisOptions {
     /// [ps]: a batch whose truth walk lands beyond the pre-pass skew
     /// plus this is rolled back.
     double wire_reclaim_skew_tol_ps{0.5};
+
+    // --- robustness knobs -------------------------------------------
+    /// Cooperative wall-clock deadline for the whole synthesize()
+    /// call [ms]; <= 0 disables. On expiry the pipeline DEGRADES
+    /// instead of failing: the committed merge prefix is finished
+    /// deterministically (in-flight mazes close on their incumbent
+    /// meet), the refine/reclaim post-passes are skipped or rolled
+    /// back at a sweep boundary, and a valid fully-timed tree is
+    /// returned with the cut stage recorded in
+    /// SynthesisResult::diagnostics (see docs/robustness.md).
+    double deadline_ms{0.0};
+    /// External cancellation token, polled at bounded intervals in
+    /// the maze expansion, the level merge loop, and the refine /
+    /// reclaim sweeps. Tripping it triggers the same degradation
+    /// ladder as the deadline. May be null; when both this and
+    /// deadline_ms are set the token also carries the deadline. The
+    /// token must outlive the synthesize() call.
+    util::CancelToken* cancel{nullptr};
 
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;

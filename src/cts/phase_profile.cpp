@@ -52,6 +52,8 @@ Snapshot snapshot() {
     s.c2f_coarse_routes = cnt(Counter::c2f_coarse_routes);
     s.c2f_refined = cnt(Counter::c2f_refined);
     s.c2f_fallbacks = cnt(Counter::c2f_fallbacks);
+    s.deadline_trips = cnt(Counter::deadline_trips);
+    s.maze_degraded = cnt(Counter::maze_degraded);
     return s;
 }
 

@@ -28,6 +28,8 @@ enum class Counter : int {
     c2f_coarse_routes,    ///< coarse-pass attempts
     c2f_refined,          ///< corridor refinements that served the result
     c2f_fallbacks,        ///< full-grid fallbacks (coarse or corridor failed)
+    deadline_trips,       ///< cancel/deadline trips observed by the pipeline
+    maze_degraded,        ///< maze expansions closed early on a tripped token
     count_,
 };
 inline constexpr int kCounterCount = static_cast<int>(Counter::count_);
@@ -42,6 +44,8 @@ struct Snapshot {
     std::uint64_t c2f_coarse_routes{0};
     std::uint64_t c2f_refined{0};
     std::uint64_t c2f_fallbacks{0};
+    std::uint64_t deadline_trips{0};
+    std::uint64_t maze_degraded{0};
 };
 
 void enable(bool on);

@@ -273,12 +273,20 @@ SkewRefineStats refine_skew(ClockTree& tree, int root, const delaylib::DelayMode
         // leave such an unabsorbed landing behind.
         const bool allow_snake = p + 1 < passes;
         for (const auto& [negdepth, m] : merges) {
+            // Cooperative cancellation between merges: every applied
+            // move is a complete, engine-notified edit, so stopping
+            // here leaves a valid tree (stats.cancelled records the
+            // short coverage).
+            if (opt.cancel && opt.cancel->checked()) {
+                stats.cancelled = true;
+                break;
+            }
             if (p > 0 && !win.dirty[m]) continue;
             changed |=
                 refine_merge(tree, m, model, opt, engine, ec, win, stats, p == 0, allow_snake);
         }
         stats.passes = p + 1;
-        if (!changed) break;
+        if (!changed || stats.cancelled) break;
     }
 
     const RootTiming t1 = engine.root_timing(root);

@@ -89,6 +89,11 @@ struct SkewRefineStats {
     int snake_stages{0};    ///< snake stages inserted
     double initial_skew_ps{0.0};  ///< engine root skew before the pass
     double final_skew_ps{0.0};    ///< engine root skew after the pass
+    /// A tripped CancelToken stopped the pass between merges of a
+    /// sweep. Every applied move is an independently valid tree edit
+    /// the engine saw, so the tree and engine stay consistent -- the
+    /// pass just covered fewer merges than asked.
+    bool cancelled{false};
 };
 
 /// Refine the finished tree rooted at `root`. `engine` must be an

@@ -1,20 +1,62 @@
 #include "cts/synthesizer.h"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "cts/incremental_timing.h"
 #include "cts/parallel_merge.h"
+#include "cts/phase_profile.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ctsim::cts {
 
+namespace {
+
+/// Reject bad external netlists up front with location-free but
+/// sink-identifying structured errors (the sink index and name are
+/// the "location" of a netlist).
+void validate_sinks(const std::vector<SinkSpec>& sinks) {
+    if (sinks.empty())
+        util::throw_status(util::Status::invalid_input("synthesize: no sinks"));
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+        const SinkSpec& s = sinks[i];
+        const auto describe = [&](const char* what) {
+            std::string m = "synthesize: sink " + std::to_string(i);
+            if (!s.name.empty()) m += " ('" + s.name + "')";
+            m += ' ';
+            m += what;
+            return m;
+        };
+        if (!std::isfinite(s.pos.x) || !std::isfinite(s.pos.y))
+            util::throw_status(
+                util::Status::invalid_input(describe("has a non-finite position")));
+        if (!std::isfinite(s.cap_ff) || s.cap_ff <= 0.0)
+            util::throw_status(util::Status::invalid_input(
+                describe("needs a positive finite capacitance")));
+    }
+}
+
+}  // namespace
+
 SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
-                           const delaylib::DelayModel& model, const SynthesisOptions& opt) {
-    if (sinks.empty()) throw std::invalid_argument("synthesize: no sinks");
+                           const delaylib::DelayModel& model,
+                           const SynthesisOptions& opt_in) {
+    validate_sinks(sinks);
+
+    // Deadline plumbing: a bare deadline_ms gets a run-local token;
+    // a caller-provided token additionally picks up the deadline.
+    // All downstream stages read opt.cancel, so the local options
+    // copy is the only threading needed.
+    SynthesisOptions opt = opt_in;
+    util::CancelToken deadline_token;
+    if (!opt.cancel && opt.deadline_ms > 0.0) opt.cancel = &deadline_token;
+    if (opt.cancel && opt.deadline_ms > 0.0) opt.cancel->set_deadline_ms(opt.deadline_ms);
 
     SynthesisResult res;
+    SynthesisDiagnostics& diag = res.diagnostics;
     res.source_buffer = resolve_driver_type(opt.source_buffer, model);
 
     std::vector<int> roots;
@@ -58,6 +100,16 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
         engine = std::make_unique<IncrementalTiming>(res.tree, model,
                                                      synthesis_timing_options(opt));
 
+    // Degradation bookkeeping: every committed merge reports whether
+    // its route fell back (c2f) or closed early on a tripped token.
+    const auto note_record = [&](const MergeRecord& rec) {
+        if (rec.c2f_fallback) {
+            if (diag.c2f_fallbacks == 0) diag.first_c2f_fallback_merge = rec.merge_node;
+            ++diag.c2f_fallbacks;
+        }
+        if (rec.degraded_route) ++diag.degraded_routes;
+    };
+
     while (roots.size() > 1) {
         std::vector<LevelNode> level;
         level.reserve(roots.size());
@@ -88,6 +140,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                                [&](int i) { route_extracted(jobs[i], model, opt); });
             for (const ExtractedMerge& j : jobs) {
                 const MergeRecord rec = commit_extracted(res.tree, j);
+                note_record(rec);
                 records[rec.merge_node] = rec;
                 timing[rec.merge_node] = rec.timing;
                 next.push_back(rec.merge_node);
@@ -103,6 +156,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                 }
                 const MergeRecord rec = merge_route(res.tree, u, v, timing.at(u),
                                                     timing.at(v), model, opt, eng);
+                note_record(rec);
                 records[rec.merge_node] = rec;
                 timing[rec.merge_node] = rec.timing;
                 next.push_back(rec.merge_node);
@@ -118,6 +172,21 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     res.root = roots[0];
     res.root_timing = timing.at(res.root);
 
+    // Degradation ladder (docs/robustness.md): a trip during merging
+    // still finishes every merge of the committed prefix -- degraded
+    // mazes stop at their incumbent, so the tree always reaches a
+    // single, fully-timed root -- then skips both post-passes. A trip
+    // inside a post-pass stops it at its own safe boundary (between
+    // refine merges; reclaim rolls the open sweep back wholesale).
+    const bool tripped_before_passes = opt.cancel && opt.cancel->cancelled();
+    if (tripped_before_passes) {
+        diag.deadline_hit = true;
+        diag.degraded_at = DegradeStage::merging;
+        diag.refine_skipped = opt.skew_refine;
+        diag.reclaim_skipped = opt.wire_reclaim;
+        profile::count_event(profile::Counter::deadline_trips);
+    }
+
     // Top-down post-passes on the finished tree: skew refinement
     // (skew_refine.h), then engine-verified wirelength reclamation
     // (wire_reclaim.h) on the same engine -- reclamation trusts the
@@ -129,7 +198,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     // With the incremental engine disabled the post-pass engine runs
     // at an exact (zero) slew quantum, matching batch re-timing
     // semantics.
-    if (opt.skew_refine || opt.wire_reclaim) {
+    if ((opt.skew_refine || opt.wire_reclaim) && !tripped_before_passes) {
         IncrementalTiming* eng = engine.get();
         std::unique_ptr<IncrementalTiming> local;
         if (!eng) {
@@ -139,8 +208,21 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             eng = local.get();
         }
         if (opt.skew_refine) res.refine = refine_skew(res.tree, res.root, model, opt, *eng);
-        if (opt.wire_reclaim)
+        if (res.refine.cancelled) {
+            diag.deadline_hit = true;
+            diag.degraded_at = DegradeStage::refine;
+            diag.refine_skipped = true;
+            diag.reclaim_skipped = opt.wire_reclaim;
+            profile::count_event(profile::Counter::deadline_trips);
+        } else if (opt.wire_reclaim) {
             res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng);
+            if (res.reclaim.cancelled) {
+                diag.deadline_hit = true;
+                diag.degraded_at = DegradeStage::reclaim;
+                diag.reclaim_skipped = true;
+                profile::count_event(profile::Counter::deadline_trips);
+            }
+        }
         res.root_timing = eng->root_timing(res.root);
     }
 

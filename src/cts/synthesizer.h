@@ -37,6 +37,41 @@ struct SinkSpec {
     std::string name;
 };
 
+/// Deepest pipeline stage a tripped deadline / CancelToken cut short
+/// (the stages run merging -> refine -> reclaim; everything before
+/// the cut completed normally, everything after was skipped).
+enum class DegradeStage : int { none = 0, merging, refine, reclaim };
+
+inline const char* degrade_stage_name(DegradeStage s) {
+    switch (s) {
+        case DegradeStage::none: return "none";
+        case DegradeStage::merging: return "merging";
+        case DegradeStage::refine: return "refine";
+        case DegradeStage::reclaim: return "reclaim";
+    }
+    return "unknown";
+}
+
+/// Robustness report of one synthesize() call: what degraded and
+/// what silently fell back. A result with deadline_hit set is still
+/// a VALID, fully-timed tree -- the degradation contract
+/// (docs/robustness.md) trades optimality, never validity.
+struct SynthesisDiagnostics {
+    /// The deadline / cancellation token tripped during the run.
+    bool deadline_hit{false};
+    /// Stage the trip cut short (none when deadline_hit is false).
+    DegradeStage degraded_at{DegradeStage::none};
+    /// Merges whose maze expansion closed early on its incumbent.
+    int degraded_routes{0};
+    bool refine_skipped{false};   ///< refine pass skipped or cut short
+    bool reclaim_skipped{false};  ///< reclaim pass skipped or cut short
+    /// Coarse-to-fine routes that fell back to the full grid -- the
+    /// former silent counter, surfaced: count and first offending
+    /// merge node so a report can point at the instance region.
+    int c2f_fallbacks{0};
+    int first_c2f_fallback_merge{-1};
+};
+
 struct SynthesisResult {
     ClockTree tree;
     int root{-1};
@@ -46,6 +81,7 @@ struct SynthesisResult {
     RootTiming root_timing;  ///< pessimistic model timing at the root
     SkewRefineStats refine;    ///< what the top-down refinement pass did
     WireReclaimStats reclaim;  ///< what the wirelength reclamation pass did
+    SynthesisDiagnostics diagnostics;  ///< degradations and surfaced fallbacks
     double wire_length_um{0.0};
     int buffer_count{0};
 
@@ -55,6 +91,17 @@ struct SynthesisResult {
     }
 };
 
+/// Synthesize a buffered clock tree over `sinks`.
+///
+/// Input contract: throws util::Error{invalid_input} on an empty sink
+/// list, non-finite coordinates, or non-positive / non-finite sink
+/// capacitance -- bad external netlists surface as structured errors
+/// before any work happens. util::Error{infeasible_route} propagates
+/// from routing when no feasible merge exists even on the full grid.
+/// With SynthesisOptions::deadline_ms / ::cancel set, expiry degrades
+/// the run per the ladder in docs/robustness.md and the result's
+/// `diagnostics` records the cut; the returned tree is always valid
+/// and fully timed.
 SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                            const delaylib::DelayModel& model, const SynthesisOptions& opt);
 

@@ -388,6 +388,10 @@ SweepCounts run_sweep(ClockTree& tree, const std::vector<std::pair<int, int>>& m
     // instead of compounding down the spine.
     std::vector<double> alloc(tree.size(), 0.0);
     for (std::size_t i = merges.size(); i-- > 0;) {
+        // A trip mid-assignment stops planning further moves; the
+        // caller then rolls the partial batch back through the
+        // journal, so stopping anywhere in this loop is safe.
+        if (opt.cancel && opt.cancel->cancelled()) break;
         const int m = merges[i].second;
         MergePlan& mp = plan[m];
         if (!mp.shaped) continue;
@@ -471,6 +475,12 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
     int batch = std::max(1, opt.wire_reclaim_batch);
     const int passes = std::max(1, opt.wire_reclaim_passes);
     for (int p = 0; p < passes && batch > 0; ++p) {
+        // Cooperative cancellation at the sweep boundary: the tree is
+        // in its last verified state here, so stopping is free.
+        if (opt.cancel && opt.cancel->checked()) {
+            stats.cancelled = true;
+            break;
+        }
         // The previous sweep's verification walk doubles as this
         // sweep's measurement: one truth walk per sweep.
         win.rebuild(tree, root, rep);
@@ -479,6 +489,14 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
         const SweepCounts counts =
             run_sweep(tree, merges, top_merge, model, ec, opt, engine, win, batch,
                       journal);
+        if (opt.cancel && opt.cancel->cancelled()) {
+            // Tripped mid-sweep: the batch is unverified. Undo it
+            // wholesale (recorded inverse edits, engine re-notified)
+            // so the returned tree is exactly the last verified one.
+            journal.undo(tree, &engine);
+            stats.cancelled = true;
+            break;
+        }
         if (journal.empty()) break;
         stats.passes = p + 1;
 

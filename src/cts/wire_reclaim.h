@@ -81,6 +81,12 @@ struct WireReclaimStats {
     double final_skew_ps{0.0};    ///< engine root skew after the pass
     double initial_wirelength_um{0.0};
     double final_wirelength_um{0.0};
+    /// A tripped CancelToken stopped the pass at a sweep boundary.
+    /// A sweep interrupted mid-flight is rolled back WHOLESALE via
+    /// its EditJournal (the PR-5 rollback machinery), so the returned
+    /// tree is exactly the last verified state -- cancellation never
+    /// leaves an unverified batch in the tree.
+    bool cancelled{false};
 };
 
 /// Reclaim balance wire from the finished tree rooted at `root`.

@@ -2,17 +2,44 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace ctsim::delaylib {
 
 namespace {
-constexpr char kMagic[] = "ctsim-delaylib-v1";
+
+// v2 prepends a "checksum <fnv1a64-hex>" line over the payload, so a
+// torn or bit-flipped cache is rejected instead of silently loading
+// wrong coefficients. v1 caches fail the header check and fall back
+// to re-characterization (which rewrites them as v2).
+constexpr char kMagic[] = "ctsim-delaylib-v2";
+
+/// FNV-1a over the serialized payload: cheap, dependency-free, and
+/// plenty for torn-write / bit-rot detection (not an integrity MAC).
+std::uint64_t fnv1a64(const std::string& s) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
 }
+
+[[noreturn]] void fail_cache(const std::string& what) {
+    util::throw_status(util::Status::cache_corruption("delay library: " + what));
+}
+
+}  // namespace
 
 double FitReport::worst_max_abs() const {
     double w = 0.0;
@@ -137,7 +164,18 @@ BranchTiming FittedLibrary::branch(int d, int l_left, int l_right, double slew_i
 }
 
 void FittedLibrary::save(std::ostream& os) const {
-    os << kMagic << '\n';
+    // Serialize the payload first so its checksum can lead the file:
+    // load() then validates before parsing a single coefficient.
+    std::ostringstream body;
+    save_body(body);
+    const std::string payload = body.str();
+    char sum[24];
+    std::snprintf(sum, sizeof(sum), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(payload)));
+    os << kMagic << '\n' << "checksum " << sum << '\n' << payload;
+}
+
+void FittedLibrary::save_body(std::ostream& os) const {
     os << buffers().count() << '\n';
     os.precision(17);
     os << max_len_ << ' ' << max_branch_len_ << ' ' << max_stem_len_ << ' ' << min_slew_ << ' '
@@ -164,13 +202,33 @@ void FittedLibrary::save(std::ostream& os) const {
 std::unique_ptr<FittedLibrary> FittedLibrary::load(std::istream& is,
                                                    const tech::Technology& tech,
                                                    const tech::BufferLibrary& lib) {
-    std::string magic;
-    is >> magic;
-    if (magic != kMagic) throw std::runtime_error("delay library: bad cache header");
+    // Fault probe: a fired site behaves like a cache that failed
+    // validation, driving the re-characterization fallback.
+    if (util::fault_fire(util::FaultSite::cache_load_corrupt))
+        fail_cache("cache rejected (injected fault)");
+
+    std::string header, sumline;
+    if (!std::getline(is, header)) fail_cache("empty cache");
+    if (header != kMagic) fail_cache("bad cache header (magic mismatch; expected ctsim-delaylib-v2)");
+    if (!std::getline(is, sumline)) fail_cache("missing checksum line");
+    unsigned long long want = 0;
+    if (std::sscanf(sumline.c_str(), "checksum %16llx", &want) != 1)
+        fail_cache("malformed checksum line");
+    const std::string payload((std::istreambuf_iterator<char>(is)),
+                              std::istreambuf_iterator<char>());
+    if (fnv1a64(payload) != static_cast<std::uint64_t>(want))
+        fail_cache("checksum mismatch (torn or corrupted cache)");
+
+    std::istringstream body(payload);
+    return load_body(body, tech, lib);
+}
+
+std::unique_ptr<FittedLibrary> FittedLibrary::load_body(std::istream& is,
+                                                        const tech::Technology& tech,
+                                                        const tech::BufferLibrary& lib) {
     int n = 0;
     is >> n;
-    if (n != lib.count())
-        throw std::runtime_error("delay library: cache was built for a different buffer count");
+    if (n != lib.count()) fail_cache("cache was built for a different buffer count");
 
     std::unique_ptr<FittedLibrary> out(new FittedLibrary(tech, lib));
     is >> out->max_len_ >> out->max_branch_len_ >> out->max_stem_len_ >> out->min_slew_ >>
@@ -196,7 +254,7 @@ std::unique_ptr<FittedLibrary> FittedLibrary::load(std::istream& is,
         is >> e.driver >> e.load >> e.quantity >> e.residuals.max_abs >> e.residuals.rms;
         out->report_.entries.push_back(e);
     }
-    if (!is) throw std::runtime_error("delay library: truncated cache");
+    if (!is) fail_cache("truncated cache");
     return out;
 }
 
@@ -209,27 +267,72 @@ std::string FittedLibrary::resolve_cache_path(const std::string& path) {
     return resolved + path;
 }
 
+bool FittedLibrary::save_cache_atomic(const std::string& where) const {
+    // Write-to-temp + rename: concurrent characterizers each publish
+    // a complete file, so a reader never observes a torn cache (the
+    // pre-PR-6 plain ofstream write had exactly that window).
+    namespace fs = std::filesystem;
+    const auto slash = where.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "" : where.substr(0, slash);
+    std::error_code ec;  // best effort throughout: a failed save only
+                         // costs the next process a re-characterization
+    if (!dir.empty()) fs::create_directories(dir, ec);
+
+    const std::string temp = where + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(temp);
+        if (!out) return false;
+        save(out);
+        out.flush();
+        if (!out) {
+            fs::remove(temp, ec);
+            return false;
+        }
+    }
+    if (util::fault_fire(util::FaultSite::cache_write_fail)) {
+        fs::remove(temp, ec);
+        return false;
+    }
+    fs::rename(temp, where, ec);
+    if (ec) {
+        // The cache dir may have been deleted between the temp write
+        // and the rename (CTSIM_CACHE_DIR on tmpfs cleaners); recreate
+        // it and retry once before giving up.
+        ec.clear();
+        if (!dir.empty()) fs::create_directories(dir, ec);
+        ec.clear();
+        fs::rename(temp, where, ec);
+        if (ec) {
+            fs::remove(temp, ec);
+            return false;
+        }
+    }
+    return true;
+}
+
 std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(
     const std::string& path, const tech::Technology& tech, const tech::BufferLibrary& lib,
-    const FitOptions& opt) {
+    const FitOptions& opt, util::Status* cache_status) {
     const std::string where = resolve_cache_path(path);
     {
         std::ifstream in(where);
         if (in) {
             try {
-                return load(in, tech, lib);
-            } catch (const std::exception&) {
-                // fall through to re-characterization
+                auto loaded = load(in, tech, lib);
+                if (cache_status) *cache_status = util::Status{};
+                return loaded;
+            } catch (const util::Error& e) {
+                // fall through to re-characterization; surface why
+                if (cache_status) *cache_status = e.status();
+            } catch (const std::exception& e) {
+                if (cache_status) *cache_status = util::Status::internal(e.what());
             }
+        } else if (cache_status) {
+            *cache_status = util::Status{};  // no cache yet: not an anomaly
         }
     }
     auto fresh = characterize(tech, lib, opt);
-    if (const auto slash = where.find_last_of('/'); slash != std::string::npos) {
-        std::error_code ec;  // best effort; an unwritable dir just skips the save
-        std::filesystem::create_directories(where.substr(0, slash), ec);
-    }
-    std::ofstream outf(where);
-    if (outf) fresh->save(outf);
+    fresh->save_cache_atomic(where);
     return fresh;
 }
 

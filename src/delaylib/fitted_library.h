@@ -22,6 +22,7 @@
 #include "delaylib/characterizer.h"
 #include "delaylib/delay_model.h"
 #include "la/polyfit.h"
+#include "util/status.h"
 
 namespace ctsim::delaylib {
 
@@ -54,7 +55,12 @@ class FittedLibrary final : public DelayModel {
                                                        const tech::BufferLibrary& lib,
                                                        const FitOptions& opt = {});
 
-    /// Load a previously saved library (throws on format mismatch).
+    /// Load a previously saved library. The cache is a versioned text
+    /// format: a magic line ("ctsim-delaylib-v2"), an FNV-1a checksum
+    /// of the payload, then the payload itself. Any mismatch -- stale
+    /// magic, checksum failure, truncation, wrong buffer count --
+    /// throws util::Error{cache_corruption}; callers that can
+    /// re-characterize should catch it and fall back.
     static std::unique_ptr<FittedLibrary> load(std::istream& is, const tech::Technology& tech,
                                                const tech::BufferLibrary& lib);
     /// Load from `path` if present, otherwise characterize and save.
@@ -62,11 +68,14 @@ class FittedLibrary final : public DelayModel {
     /// environment variable when set (resolve_cache_path below), so
     /// tools that default to a bare filename stop dropping caches
     /// into whatever directory they were started from; absolute
-    /// paths are used verbatim.
-    static std::unique_ptr<FittedLibrary> load_or_characterize(const std::string& path,
-                                                               const tech::Technology& tech,
-                                                               const tech::BufferLibrary& lib,
-                                                               const FitOptions& opt = {});
+    /// paths are used verbatim. A corrupt cache is never fatal: the
+    /// library is re-characterized and rewritten; when `cache_status`
+    /// is non-null it receives why the cache was rejected (ok when it
+    /// loaded or simply did not exist) so tools can warn.
+    static std::unique_ptr<FittedLibrary> load_or_characterize(
+        const std::string& path, const tech::Technology& tech,
+        const tech::BufferLibrary& lib, const FitOptions& opt = {},
+        util::Status* cache_status = nullptr);
 
     /// The cache location load_or_characterize will actually use:
     /// `path` prefixed with CTSIM_CACHE_DIR when that is set and
@@ -74,6 +83,13 @@ class FittedLibrary final : public DelayModel {
     static std::string resolve_cache_path(const std::string& path);
 
     void save(std::ostream& os) const;
+
+    /// Publish the serialized library at `where` atomically: write a
+    /// pid-suffixed temp file beside it, then rename into place, so a
+    /// concurrent reader never observes a torn cache. Tolerates the
+    /// target directory being deleted mid-save (recreate + one retry).
+    /// Best-effort: returns false instead of throwing on any failure.
+    bool save_cache_atomic(const std::string& where) const;
 
     double buffer_delay(int d, int l, double slew_in, double len) const override;
     double wire_delay(int d, int l, double slew_in, double len) const override;
@@ -107,6 +123,13 @@ class FittedLibrary final : public DelayModel {
 
     int pair_index(int d, int l) const;
     void clamp_single(double& slew, double& len) const;
+
+    /// Serialize / parse the checksummed payload (everything after the
+    /// magic + checksum header lines that save()/load() add).
+    void save_body(std::ostream& os) const;
+    static std::unique_ptr<FittedLibrary> load_body(std::istream& is,
+                                                    const tech::Technology& tech,
+                                                    const tech::BufferLibrary& lib);
 
     std::vector<SingleFit> single_;  // [d * count + l]
     std::vector<BranchFit> branch_;

@@ -1,0 +1,78 @@
+#include "util/fault_injection.h"
+
+namespace ctsim::util {
+
+const char* fault_site_name(FaultSite s) {
+    switch (s) {
+        case FaultSite::maze_route_infeasible: return "maze_route_infeasible";
+        case FaultSite::cache_load_corrupt: return "cache_load_corrupt";
+        case FaultSite::cache_write_fail: return "cache_write_fail";
+        case FaultSite::tree_alloc_fail: return "tree_alloc_fail";
+        case FaultSite::engine_notify_conservative: return "engine_notify_conservative";
+        case FaultSite::count_: break;
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// splitmix64: full-avalanche 64-bit mix, so consecutive probe
+/// indices decorrelate completely for any seed.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+    static FaultInjector inj;
+    return inj;
+}
+
+void FaultInjector::arm(FaultSite site, std::uint64_t seed, double probability) {
+    SiteState& st = sites_[static_cast<int>(site)];
+    st.seed = seed;
+    st.probability = probability;
+    st.probes.store(0, std::memory_order_relaxed);
+    st.fires.store(0, std::memory_order_relaxed);
+    st.armed.store(true, std::memory_order_relaxed);
+    armed_flag().store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultSite site) {
+    sites_[static_cast<int>(site)].armed.store(false, std::memory_order_relaxed);
+    bool any = false;
+    for (const SiteState& st : sites_) any = any || st.armed.load(std::memory_order_relaxed);
+    armed_flag().store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+    for (SiteState& st : sites_) st.armed.store(false, std::memory_order_relaxed);
+    armed_flag().store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+    SiteState& st = sites_[static_cast<int>(site)];
+    if (!st.armed.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t k = st.probes.fetch_add(1, std::memory_order_relaxed);
+    // Hash (site, seed, index) to [0, 1); fire below the probability.
+    const std::uint64_t h =
+        mix64(st.seed ^ mix64(static_cast<std::uint64_t>(site) + 1) ^ mix64(k));
+    const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+    if (u >= st.probability) return false;
+    st.fires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t FaultInjector::probes(FaultSite site) const {
+    return sites_[static_cast<int>(site)].probes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fires(FaultSite site) const {
+    return sites_[static_cast<int>(site)].fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace ctsim::util

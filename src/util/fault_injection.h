@@ -1,0 +1,94 @@
+// Deterministic, site-keyed fault injection for robustness tests.
+//
+// Production code plants probes at the failure-prone sites (maze
+// infeasibility, cache load/store, tree-arena allocation, engine
+// notifications); cts_fault_injection_test arms one site at a time
+// with a seed and a firing probability and asserts that EVERY outcome
+// is either a clean structured error (util::Error) or a valid
+// degraded result -- never a crash, hang, or leak.
+//
+// Determinism: whether the k-th probe of a site fires is a pure hash
+// of (site, seed, k), so a sweep is exactly reproducible and a
+// failure report ("site X, seed Y") replays byte-for-byte. Per-site
+// probe counters are atomic: probes from parallel merge workers
+// interleave nondeterministically, but the TOTAL fire count for a
+// given probability stays pinned, and the fault tests that assert
+// bit-identical output run serial.
+//
+// Cost when disarmed (the always case outside tests): fault_fire()
+// is one relaxed atomic load and a predictable branch. The injector
+// is compiled in unconditionally -- a separate test build would let
+// the probes rot.
+#ifndef CTSIM_UTIL_FAULT_INJECTION_H
+#define CTSIM_UTIL_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace ctsim::util {
+
+enum class FaultSite : int {
+    maze_route_infeasible = 0,  ///< route_on_grid reports no meet cell
+    cache_load_corrupt,         ///< FittedLibrary::load rejects the stream
+    cache_write_fail,           ///< atomic cache save fails before rename
+    tree_alloc_fail,            ///< ClockTree::add_node throws resource_exhaustion
+    engine_notify_conservative, ///< wire_changed degrades to subtree_replaced
+    count_,
+};
+inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::count_);
+
+const char* fault_site_name(FaultSite s);
+
+class FaultInjector {
+  public:
+    /// Any site armed anywhere in the process? (The probe fast path.)
+    static bool armed_any() {
+        return armed_flag().load(std::memory_order_relaxed);
+    }
+
+    static FaultInjector& instance();
+
+    /// Arm `site`: each probe fires with `probability` (deterministic
+    /// in (site, seed, probe index)). Re-arming resets the counters.
+    void arm(FaultSite site, std::uint64_t seed, double probability);
+    void disarm(FaultSite site);
+    void disarm_all();
+
+    /// Probe (called via fault_fire below). Advances the site's probe
+    /// counter even while disarmed-but-enabled, keeping indices stable
+    /// when several sites are armed in one run.
+    bool should_fire(FaultSite site);
+
+    /// Probes / fires observed since arm() (test assertions).
+    std::uint64_t probes(FaultSite site) const;
+    std::uint64_t fires(FaultSite site) const;
+
+  private:
+    FaultInjector() = default;
+    /// Inline (and constant-initialized, so no init guard): the
+    /// disarmed fast path must compile down to one relaxed load at
+    /// every probe site, not an out-of-line call.
+    static std::atomic<bool>& armed_flag() {
+        static std::atomic<bool> flag{false};
+        return flag;
+    }
+
+    struct SiteState {
+        std::atomic<bool> armed{false};
+        std::uint64_t seed{0};
+        double probability{0.0};
+        std::atomic<std::uint64_t> probes{0};
+        std::atomic<std::uint64_t> fires{0};
+    };
+    SiteState sites_[kFaultSiteCount];
+};
+
+/// The probe production code plants: false forever until a test arms
+/// the injector.
+inline bool fault_fire(FaultSite site) {
+    return FaultInjector::armed_any() && FaultInjector::instance().should_fire(site);
+}
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_FAULT_INJECTION_H

@@ -1,0 +1,131 @@
+// Structured error taxonomy for external-facing failure paths.
+//
+// Library code that rejects EXTERNAL state -- malformed benchmark
+// files, corrupt delay-library caches, invalid sink lists, infeasible
+// routing instances, expired deadlines -- reports a util::Status (a
+// code, a message, and an optional file:line:column source location)
+// and raises it as util::Error. Internal invariant violations keep
+// using plain std::logic_error / std::runtime_error: a Status is a
+// contract with callers about inputs, not a bug report.
+//
+// Error derives from std::runtime_error so call sites that predate
+// the taxonomy (EXPECT_THROW(..., std::runtime_error), catch-all
+// tool wrappers) keep working; new call sites catch util::Error and
+// dispatch on status().code() -- ctsim_cli maps each code to a
+// distinct exit status (see docs/robustness.md).
+#ifndef CTSIM_UTIL_STATUS_H
+#define CTSIM_UTIL_STATUS_H
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ctsim::util {
+
+enum class StatusCode : int {
+    ok = 0,
+    invalid_input,        ///< malformed file / netlist / option value
+    infeasible_route,     ///< no feasible maze meet even on the full grid
+    cache_corruption,     ///< delay-library cache failed validation
+    resource_exhaustion,  ///< arena / pool allocation failure
+    deadline_exceeded,    ///< cooperative deadline expired with no usable result
+    internal,             ///< invariant violation escaping as a Status
+};
+
+inline const char* status_code_name(StatusCode c) {
+    switch (c) {
+        case StatusCode::ok: return "ok";
+        case StatusCode::invalid_input: return "invalid_input";
+        case StatusCode::infeasible_route: return "infeasible_route";
+        case StatusCode::cache_corruption: return "cache_corruption";
+        case StatusCode::resource_exhaustion: return "resource_exhaustion";
+        case StatusCode::deadline_exceeded: return "deadline_exceeded";
+        case StatusCode::internal: return "internal";
+    }
+    return "unknown";
+}
+
+class Status {
+  public:
+    Status() = default;  // ok
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status invalid_input(std::string m) {
+        return {StatusCode::invalid_input, std::move(m)};
+    }
+    static Status infeasible_route(std::string m) {
+        return {StatusCode::infeasible_route, std::move(m)};
+    }
+    static Status cache_corruption(std::string m) {
+        return {StatusCode::cache_corruption, std::move(m)};
+    }
+    static Status resource_exhaustion(std::string m) {
+        return {StatusCode::resource_exhaustion, std::move(m)};
+    }
+    static Status deadline_exceeded(std::string m) {
+        return {StatusCode::deadline_exceeded, std::move(m)};
+    }
+    static Status internal(std::string m) { return {StatusCode::internal, std::move(m)}; }
+
+    bool ok() const { return code_ == StatusCode::ok; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /// Attach the source location of the offending input (1-based;
+    /// column 0 = whole line, line 0 = whole file).
+    Status&& at(std::string file, int line = 0, int column = 0) && {
+        file_ = std::move(file);
+        line_ = line;
+        column_ = column;
+        return std::move(*this);
+    }
+    const std::string& file() const { return file_; }
+    int line() const { return line_; }
+    int column() const { return column_; }
+    bool has_location() const { return !file_.empty() || line_ > 0; }
+
+    /// "code: file:line:column: message" with empty location parts
+    /// elided -- the diagnostic shape editors and CI logs both parse.
+    std::string to_string() const {
+        std::string s = status_code_name(code_);
+        s += ": ";
+        if (has_location()) {
+            s += file_.empty() ? "<input>" : file_;
+            if (line_ > 0) {
+                s += ':';
+                s += std::to_string(line_);
+                if (column_ > 0) {
+                    s += ':';
+                    s += std::to_string(column_);
+                }
+            }
+            s += ": ";
+        }
+        s += message_;
+        return s;
+    }
+
+  private:
+    StatusCode code_{StatusCode::ok};
+    std::string message_;
+    std::string file_;
+    int line_{0};
+    int column_{0};
+};
+
+/// The throwable carrier of a non-ok Status.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(Status s) : std::runtime_error(s.to_string()), status_(std::move(s)) {}
+    const Status& status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+[[noreturn]] inline void throw_status(Status s) { throw Error(std::move(s)); }
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_STATUS_H

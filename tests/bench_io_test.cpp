@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "bench_io/parsers.h"
 #include "bench_io/synthetic.h"
+#include "util/status.h"
 
 namespace ctsim::bench_io {
 namespace {
@@ -60,6 +62,88 @@ num wire 1
 TEST(IspdParser, RejectsTruncatedSection) {
     std::istringstream in("num sink 3\n1 0 0 5\n");
     EXPECT_THROW(parse_ispd09(in), std::runtime_error);
+}
+
+// ---- structured diagnostics (file:line:column) ---------------------------
+
+util::Status catch_status(const std::function<void()>& fn) {
+    try {
+        fn();
+    } catch (const util::Error& e) {
+        return e.status();
+    }
+    ADD_FAILURE() << "expected util::Error";
+    return {};
+}
+
+TEST(GsrcParser, MalformedLineReportsFileLineColumn) {
+    std::istringstream in("10 20 5\nnot a sink line at all\n");
+    const util::Status s =
+        catch_status([&] { (void)parse_gsrc_bst(in, "fixtures/r9.bst"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.file(), "fixtures/r9.bst");
+    EXPECT_EQ(s.line(), 2);
+    EXPECT_EQ(s.column(), 1);
+    // The rendered diagnostic carries the editor-clickable location.
+    EXPECT_NE(s.to_string().find("fixtures/r9.bst:2:1"), std::string::npos)
+        << s.to_string();
+}
+
+TEST(GsrcParser, BadCapacitancePointsAtTheCapToken) {
+    std::istringstream in("s0 10 20 -4.5\n");
+    const util::Status s = catch_status([&] { (void)parse_gsrc_bst(in, "r1.bst"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.line(), 1);
+    EXPECT_EQ(s.column(), 10);  // column of "-4.5", not of the line
+}
+
+TEST(GsrcParser, LeadingSpacesShiftTheReportedColumn) {
+    std::istringstream in("   bad-token 1 2\n");
+    const util::Status s = catch_status([&] { (void)parse_gsrc_bst(in); });
+    EXPECT_EQ(s.line(), 1);
+    EXPECT_EQ(s.column(), 4);
+    // Without a filename the location renders against "<input>".
+    EXPECT_NE(s.to_string().find("<input>:1:4"), std::string::npos) << s.to_string();
+}
+
+TEST(GsrcParser, EmptyFileReportsWholeFileLocation) {
+    std::istringstream in("# comments only\n\n");
+    const util::Status s = catch_status([&] { (void)parse_gsrc_bst(in, "empty.bst"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.file(), "empty.bst");
+}
+
+TEST(IspdParser, BadSinkCountReportsLocation) {
+    std::istringstream in("num sink lots\n");
+    const util::Status s = catch_status([&] { (void)parse_ispd09(in, "f11.cns"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.file(), "f11.cns");
+    EXPECT_EQ(s.line(), 1);
+    EXPECT_EQ(s.column(), 10);  // the "lots" token
+}
+
+TEST(IspdParser, TruncatedSectionPointsAtLastToken) {
+    std::istringstream in("num sink 3\n1 0 0 5\n");
+    const util::Status s = catch_status([&] { (void)parse_ispd09(in, "f12.cns"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.line(), 2);
+    EXPECT_EQ(s.column(), 7);  // the final "5" before the stream ended
+}
+
+TEST(IspdParser, NonNumericCoordinatePointsAtTheToken) {
+    std::istringstream in("num sink 1\ns1 abc 40 7\n");
+    const util::Status s = catch_status([&] { (void)parse_ispd09(in, "f13.cns"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.line(), 2);
+    EXPECT_EQ(s.column(), 4);  // "abc"
+}
+
+TEST(IspdParser, NonNumericCapacitancePointsAtTheToken) {
+    std::istringstream in("num sink 1\ns1 30 40 heavy\n");
+    const util::Status s = catch_status([&] { (void)parse_ispd09(in, "f14.cns"); });
+    EXPECT_EQ(s.code(), util::StatusCode::invalid_input);
+    EXPECT_EQ(s.line(), 2);
+    EXPECT_EQ(s.column(), 10);  // "heavy"
 }
 
 TEST(Synthetic, SuiteMatchesPublishedSinkCounts) {

@@ -1,0 +1,201 @@
+// Deterministic fault-injection sweep (util/fault_injection.h): arm
+// each production probe site across many seeds and assert that EVERY
+// outcome is either a clean structured error (util::Error with the
+// right code) or a valid, fully-timed degraded result -- never a
+// crash, hang, or corrupted tree. The CI sanitizers job runs this
+// suite under ASan/UBSan, which turns "no leak, no UB on the failure
+// paths" into a checked property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cts_test_util.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace ctsim::cts {
+namespace {
+
+using testutil::analytic;
+using testutil::buflib;
+using testutil::fitted_quick;
+using testutil::random_sinks;
+using testutil::tek;
+using util::FaultInjector;
+using util::FaultSite;
+
+constexpr std::uint64_t kSeeds = 10;  // sweep >= 8 seeds per site
+
+/// Every test disarms on exit even when an assertion throws.
+struct FaultGuard {
+    ~FaultGuard() { FaultInjector::instance().disarm_all(); }
+};
+
+SynthesisOptions opts() {
+    SynthesisOptions o;
+    o.slew_limit_ps = 100.0;
+    o.slew_target_ps = 80.0;
+    o.num_threads = 1;  // serial probe order => reproducible sweep
+    return o;
+}
+
+void expect_valid(const SynthesisResult& res, std::size_t nsinks) {
+    // synthesize() already ran validate_subtree; re-assert the surface.
+    EXPECT_EQ(res.tree.sinks_below(res.root).size(), nsinks);
+    EXPECT_TRUE(std::isfinite(res.root_timing.max_ps));
+    EXPECT_GE(res.root_timing.max_ps, res.root_timing.min_ps);
+}
+
+TEST(FaultInjection, DisarmedProbesAreInertAndFree) {
+    FaultGuard guard;
+    FaultInjector::instance().disarm_all();
+    EXPECT_FALSE(FaultInjector::armed_any());
+    const std::uint64_t before = FaultInjector::instance().probes(FaultSite::tree_alloc_fail);
+    EXPECT_FALSE(util::fault_fire(FaultSite::tree_alloc_fail));
+    // The disarmed fast path must not even advance the probe counter.
+    EXPECT_EQ(FaultInjector::instance().probes(FaultSite::tree_alloc_fail), before);
+}
+
+TEST(FaultInjection, FiringIsDeterministicPerSeed) {
+    FaultGuard guard;
+    const auto sinks = random_sinks(16, 9000.0, 5);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto run = [&]() -> std::pair<bool, std::uint64_t> {
+            FaultInjector::instance().arm(FaultSite::maze_route_infeasible, seed, 0.25);
+            bool threw = false;
+            try {
+                (void)synthesize(sinks, analytic(), opts());
+            } catch (const util::Error&) {
+                threw = true;
+            }
+            const std::uint64_t fires =
+                FaultInjector::instance().fires(FaultSite::maze_route_infeasible);
+            FaultInjector::instance().disarm_all();
+            return {threw, fires};
+        };
+        const auto a = run();
+        const auto b = run();
+        EXPECT_EQ(a.first, b.first) << "seed " << seed;
+        EXPECT_EQ(a.second, b.second) << "seed " << seed;
+    }
+}
+
+TEST(FaultInjection, MazeInfeasibilitySweep) {
+    FaultGuard guard;
+    const auto sinks = random_sinks(14, 8000.0, 7);
+    for (const double p : {0.3, 1.0}) {
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            FaultInjector::instance().arm(FaultSite::maze_route_infeasible, seed, p);
+            try {
+                const SynthesisResult res = synthesize(sinks, analytic(), opts());
+                expect_valid(res, sinks.size());
+            } catch (const util::Error& e) {
+                EXPECT_EQ(e.status().code(), util::StatusCode::infeasible_route)
+                    << "seed " << seed << " p " << p << ": " << e.what();
+            }
+            EXPECT_GT(FaultInjector::instance().probes(FaultSite::maze_route_infeasible), 0u);
+            FaultInjector::instance().disarm_all();
+        }
+    }
+}
+
+TEST(FaultInjection, TreeAllocFailureSweep) {
+    FaultGuard guard;
+    const auto sinks = random_sinks(14, 8000.0, 9);
+    for (const double p : {0.002, 0.02, 1.0}) {
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            FaultInjector::instance().arm(FaultSite::tree_alloc_fail, seed, p);
+            try {
+                const SynthesisResult res = synthesize(sinks, analytic(), opts());
+                expect_valid(res, sinks.size());
+            } catch (const util::Error& e) {
+                EXPECT_EQ(e.status().code(), util::StatusCode::resource_exhaustion)
+                    << "seed " << seed << " p " << p << ": " << e.what();
+            }
+            FaultInjector::instance().disarm_all();
+        }
+    }
+}
+
+TEST(FaultInjection, ConservativeEngineNotificationsPreserveResults) {
+    // Degrading wire_changed to the superset subtree_replaced
+    // invalidation is behavior-preserving by construction, so the
+    // faulted run must be bit-identical to the clean one -- this pins
+    // the "conservative" half of the notification contract.
+    FaultGuard guard;
+    const auto sinks = random_sinks(20, 10000.0, 13);
+    const SynthesisResult clean = synthesize(sinks, analytic(), opts());
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        FaultInjector::instance().arm(FaultSite::engine_notify_conservative, seed, 0.5);
+        const SynthesisResult faulted = synthesize(sinks, analytic(), opts());
+        const std::uint64_t probes =
+            FaultInjector::instance().probes(FaultSite::engine_notify_conservative);
+        FaultInjector::instance().disarm_all();
+        EXPECT_GT(probes, 0u) << "site never probed: test is vacuous";
+        ASSERT_EQ(faulted.tree.size(), clean.tree.size()) << "seed " << seed;
+        EXPECT_EQ(faulted.buffer_count, clean.buffer_count) << "seed " << seed;
+        EXPECT_DOUBLE_EQ(faulted.wire_length_um, clean.wire_length_um) << "seed " << seed;
+        EXPECT_DOUBLE_EQ(faulted.root_timing.max_ps, clean.root_timing.max_ps)
+            << "seed " << seed;
+        for (int i = 0; i < clean.tree.size(); ++i) {
+            ASSERT_EQ(faulted.tree.node(i).parent, clean.tree.node(i).parent)
+                << "seed " << seed << " node " << i;
+            ASSERT_DOUBLE_EQ(faulted.tree.node(i).parent_wire_um,
+                             clean.tree.node(i).parent_wire_um)
+                << "seed " << seed << " node " << i;
+        }
+    }
+}
+
+TEST(FaultInjection, CacheLoadCorruptionSweep) {
+    FaultGuard guard;
+    std::ostringstream saved;
+    fitted_quick().save(saved);
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        FaultInjector::instance().arm(FaultSite::cache_load_corrupt, seed, 1.0);
+        std::istringstream in(saved.str());
+        try {
+            (void)delaylib::FittedLibrary::load(in, tek(), buflib());
+            FAIL() << "expected util::Error at seed " << seed;
+        } catch (const util::Error& e) {
+            EXPECT_EQ(e.status().code(), util::StatusCode::cache_corruption);
+        }
+        FaultInjector::instance().disarm_all();
+        // A clean retry of the SAME bytes must succeed: the failure
+        // path must not have consumed or cached anything.
+        std::istringstream retry(saved.str());
+        EXPECT_NO_THROW((void)delaylib::FittedLibrary::load(retry, tek(), buflib()));
+    }
+}
+
+TEST(FaultInjection, CacheWriteFailureLeavesNoPartialFiles) {
+    FaultGuard guard;
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "ctsim_fault_cache_test";
+    fs::remove_all(dir);
+    const std::string where = (dir / "lib.cache").string();
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        FaultInjector::instance().arm(FaultSite::cache_write_fail, seed, 1.0);
+        EXPECT_FALSE(fitted_quick().save_cache_atomic(where)) << "seed " << seed;
+        FaultInjector::instance().disarm_all();
+        // Neither the final file nor any temp may exist after a
+        // failed publish.
+        EXPECT_FALSE(fs::exists(where)) << "seed " << seed;
+        if (fs::exists(dir))
+            for (const auto& ent : fs::directory_iterator(dir))
+                ADD_FAILURE() << "stray file " << ent.path() << " at seed " << seed;
+    }
+    // With the fault gone the same call publishes a loadable cache.
+    EXPECT_TRUE(fitted_quick().save_cache_atomic(where));
+    std::ifstream in(where);
+    ASSERT_TRUE(in.good());
+    EXPECT_NO_THROW((void)delaylib::FittedLibrary::load(in, tek(), buflib()));
+    fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ctsim::cts

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "delaylib/analytic_model.h"
 #include "delaylib/characterizer.h"
 #include "delaylib/fitted_library.h"
+#include "util/status.h"
 
 namespace ctsim::delaylib {
 namespace {
@@ -137,7 +140,113 @@ TEST(FittedLibrary, LoadRejectsWrongBufferCount) {
     std::stringstream ss;
     lib.save(ss);
     const tech::BufferLibrary single = tech::BufferLibrary::single(tek(), 10.0);
-    EXPECT_THROW(FittedLibrary::load(ss, tek(), single), std::runtime_error);
+    try {
+        FittedLibrary::load(ss, tek(), single);
+        FAIL() << "expected util::Error";
+    } catch (const util::Error& e) {
+        EXPECT_EQ(e.status().code(), util::StatusCode::cache_corruption);
+    }
+}
+
+TEST(FittedLibrary, LoadRejectsStaleMagic) {
+    // A v1 cache (or arbitrary junk) has no "ctsim-delaylib-v2" magic
+    // line: load must reject it as cache corruption without reading
+    // any further.
+    std::istringstream v1("3 0.5 1.0 2.0\n0 0 4 1 2 3 4 ...\n");
+    try {
+        FittedLibrary::load(v1, tek(), buflib());
+        FAIL() << "expected util::Error";
+    } catch (const util::Error& e) {
+        EXPECT_EQ(e.status().code(), util::StatusCode::cache_corruption);
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+    }
+}
+
+TEST(FittedLibrary, LoadRejectsChecksumMismatch) {
+    const FittedLibrary& lib = quick_lib();
+    std::stringstream ss;
+    lib.save(ss);
+    std::string bytes = ss.str();
+    // Corrupt one payload byte (well past the two header lines): a
+    // torn or bit-rotted cache must fail the checksum, not parse into
+    // a subtly wrong model.
+    const std::size_t payload_start = bytes.find('\n', bytes.find('\n') + 1) + 1;
+    ASSERT_LT(payload_start + 40, bytes.size());
+    std::size_t flip = payload_start + 40;
+    while (bytes[flip] == '\n') ++flip;  // keep the line structure
+    bytes[flip] = bytes[flip] == '7' ? '8' : '7';
+    std::istringstream corrupted(bytes);
+    try {
+        FittedLibrary::load(corrupted, tek(), buflib());
+        FAIL() << "expected util::Error";
+    } catch (const util::Error& e) {
+        EXPECT_EQ(e.status().code(), util::StatusCode::cache_corruption);
+        EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+    }
+}
+
+TEST(FittedLibrary, LoadRejectsTruncatedPayload) {
+    const FittedLibrary& lib = quick_lib();
+    std::stringstream ss;
+    lib.save(ss);
+    const std::string bytes = ss.str();
+    std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+    try {
+        FittedLibrary::load(truncated, tek(), buflib());
+        FAIL() << "expected util::Error";
+    } catch (const util::Error& e) {
+        EXPECT_EQ(e.status().code(), util::StatusCode::cache_corruption);
+    }
+}
+
+TEST(FittedLibrary, AtomicSaveCreatesDirsAndRoundTrips) {
+    namespace fs = std::filesystem;
+    const FittedLibrary& lib = quick_lib();
+    const fs::path dir = fs::temp_directory_path() / "ctsim_cache_atomic_test";
+    fs::remove_all(dir);
+    // The nested directory does not exist yet: save must create it.
+    const std::string where = (dir / "nested" / "lib.cache").string();
+    ASSERT_TRUE(lib.save_cache_atomic(where));
+    // No temp litter next to the published file.
+    int entries = 0;
+    for (const auto& ent : fs::directory_iterator(dir / "nested")) {
+        (void)ent;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1);
+    std::ifstream in(where);
+    ASSERT_TRUE(in.good());
+    const auto reloaded = FittedLibrary::load(in, tek(), buflib());
+    EXPECT_NEAR(reloaded->wire_slew(1, 1, 60.0, 1200.0), lib.wire_slew(1, 1, 60.0, 1200.0),
+                1e-9);
+    fs::remove_all(dir);
+}
+
+TEST(FittedLibrary, LoadOrCharacterizeRecoversFromCorruptCacheFile) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "ctsim_cache_recover_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string where = (dir / "lib.cache").string();
+    {
+        std::ofstream out(where);
+        out << "ctsim-delaylib-v2\nchecksum 0000000000000000\nnot a real payload\n";
+    }
+    FitOptions opt;
+    opt.grid = SweepGrid::quick();
+    opt.single_degree = 3;
+    opt.branch_degree = 2;
+    util::Status cache_status;
+    const auto lib = FittedLibrary::load_or_characterize(where, tek(), buflib(), opt,
+                                                         &cache_status);
+    ASSERT_NE(lib, nullptr);
+    // The corruption was reported, not swallowed...
+    EXPECT_EQ(cache_status.code(), util::StatusCode::cache_corruption);
+    // ...and the rewritten cache now loads cleanly.
+    std::ifstream in(where);
+    ASSERT_TRUE(in.good());
+    EXPECT_NO_THROW((void)FittedLibrary::load(in, tek(), buflib()));
+    fs::remove_all(dir);
 }
 
 TEST(AnalyticModel, QualitativeShapeMatchesLibrary) {

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/cancel.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ctsim::util {
@@ -89,6 +91,79 @@ TEST(ThreadPool, ResolveThreadCount) {
     EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5);
     EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);
     EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);  // hardware default
+}
+
+TEST(ThreadPool, StructuredErrorsRethrowLowestIndexWithStatus) {
+    // Routing workers raise util::Error (e.g. infeasible_route under
+    // fault injection); the pool must drain the batch and rethrow the
+    // lowest-index error with its Status intact, deterministically at
+    // any thread count.
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        std::atomic<int> ran{0};
+        try {
+            pool.parallel_for(12, [&](int i) {
+                ran.fetch_add(1);
+                if (i == 2 || i == 9)
+                    throw Error(Status::infeasible_route("merge " + std::to_string(i)));
+            });
+            FAIL() << "expected parallel_for to rethrow (threads=" << threads << ")";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.status().code(), StatusCode::infeasible_route);
+            EXPECT_EQ(e.status().message(), "merge 2");
+        }
+        EXPECT_EQ(ran.load(), 12);
+    }
+}
+
+TEST(ThreadPool, CancelledBatchDrainsDeterministically) {
+    // Cooperative cancellation: a shared token trips mid-batch; tasks
+    // that see it return early, but EVERY task is still invoked (the
+    // pool never abandons queued work) and parallel_for returns
+    // normally -- mirroring how the synthesizer's level loop degrades.
+    for (int threads : {1, 3}) {
+        ThreadPool pool(threads);
+        CancelToken token;
+        std::atomic<int> invoked{0};
+        std::atomic<int> worked{0};
+        pool.parallel_for(64, [&](int i) {
+            invoked.fetch_add(1);
+            if (i == 8) token.cancel();
+            if (token.cancelled()) return;  // degrade: skip the heavy part
+            worked.fetch_add(1);
+        });
+        EXPECT_EQ(invoked.load(), 64);
+        EXPECT_TRUE(token.cancelled());
+        // The pool must stay fully usable after a cancelled batch.
+        std::atomic<int> sum{0};
+        pool.parallel_for(10, [&](int i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 45);
+        (void)worked;
+    }
+}
+
+TEST(ThreadPool, CancellationAndExceptionComposeLowestIndexWins) {
+    // A batch can both observe a tripped token AND have failing tasks;
+    // the lowest-index exception still wins and the pool survives.
+    ThreadPool pool(4);
+    CancelToken token;
+    token.cancel();
+    std::atomic<int> ran{0};
+    try {
+        pool.parallel_for(16, [&](int i) {
+            ran.fetch_add(1);
+            if (token.cancelled() && (i == 5 || i == 11))
+                throw Error(Status::deadline_exceeded("task " + std::to_string(i)));
+        });
+        FAIL() << "expected rethrow";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.status().code(), StatusCode::deadline_exceeded);
+        EXPECT_EQ(e.status().message(), "task 5");
+    }
+    EXPECT_EQ(ran.load(), 16);
+    std::atomic<int> again{0};
+    pool.parallel_for(6, [&](int) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 6);
 }
 
 TEST(ThreadPool, RepeatedBatchesKeepWorkersWarm) {

@@ -80,8 +80,17 @@ def main():
             fm, bm = f[mode], b[mode]
             checked += 1
 
-            fw, bw = fm["wirelength_um"], bm["wirelength_um"]
-            if bw > 0 and fw > bw * WIRELENGTH_REGRESSION:
+            # A degraded or interrupted harness run can emit a mode
+            # record with columns missing (e.g. the reclaim stats when
+            # the pass was cut short). Flag it loudly and skip the
+            # affected metric instead of crashing the gate -- but never
+            # count it as a passing comparison.
+            fw, bw = fm.get("wirelength_um"), bm.get("wirelength_um")
+            if fw is None or bw is None:
+                side = "fresh" if fw is None else "baseline"
+                print(f"warning: {name}/{mode} missing wirelength_um in {side} "
+                      f"run; wirelength check skipped")
+            elif bw > 0 and fw > bw * WIRELENGTH_REGRESSION:
                 failures.append(
                     f"{name}/{mode}: wirelength {bw:.0f} -> {fw:.0f} um "
                     f"(+{100.0 * (fw / bw - 1.0):.1f}% > "
@@ -97,6 +106,10 @@ def main():
 
             if mode == "seed" or bseed <= 0 or fseed <= 0:
                 continue  # seed IS the yardstick
+            if "seconds" not in fm:
+                print(f"warning: {name}/{mode} missing seconds in fresh run; "
+                      f"wall-clock check skipped")
+                continue
             fnorm = fm["seconds"] / fseed
             bnorm = bm["seconds"] / bseed
             a = agg.setdefault(mode, [0.0, 0.0])

@@ -8,8 +8,17 @@
 //   ctsim_cli --gsrc r1.bst --slew 80         # real GSRC BST file
 //   ctsim_cli --ispd f11.cns --hstructure correct --spice out.sp
 //
-// Exit status is nonzero when the verified worst slew exceeds the
-// limit, so the tool can gate a flow.
+// Exit status (docs/robustness.md):
+//   0  verified tree within the slew limit
+//   1  tree synthesized but the verified worst slew exceeds the limit
+//   2  usage error (bad flag, missing file, unknown benchmark)
+//   3  invalid input (malformed benchmark file, bad sink list)
+//   4  infeasible routing instance
+//   5  delay-library cache corruption (only if re-characterization
+//      also failed; a corrupt cache normally just triggers a warning)
+//   6  resource exhaustion
+//   7  deadline exceeded with no usable result
+//  10  internal error
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +31,7 @@
 #include "cts/synthesizer.h"
 #include "delaylib/fitted_library.h"
 #include "sim/netlist_sim.h"
+#include "util/status.h"
 
 namespace {
 
@@ -39,12 +49,34 @@ void usage() {
         "  --hstructure MODE   off | reestimate | correct (default off)\n"
         "  --seed-policy P     max-latency | random (default max-latency)\n"
         "  --matching P        greedy | path-growing (default greedy)\n"
+        "  --deadline-ms MS    cooperative synthesis deadline; on expiry the\n"
+        "                      run degrades gracefully (docs/robustness.md)\n"
         "  --library FILE      delay library cache (default ctsim_delaylib_45nm.cache)\n"
         "  --cache-dir DIR     directory for relative cache files (also honors the\n"
         "                      CTSIM_CACHE_DIR environment variable; without either,\n"
         "                      the cache lands in the current directory)\n"
         "  --spice FILE        export the verified netlist as a SPICE deck\n"
         "  --quiet             only print the summary line\n");
+}
+
+/// Map a structured error to its documented exit status.
+int exit_code_for(ctsim::util::StatusCode c) {
+    using ctsim::util::StatusCode;
+    switch (c) {
+        case StatusCode::ok: return 0;
+        case StatusCode::invalid_input: return 3;
+        case StatusCode::infeasible_route: return 4;
+        case StatusCode::cache_corruption: return 5;
+        case StatusCode::resource_exhaustion: return 6;
+        case StatusCode::deadline_exceeded: return 7;
+        case StatusCode::internal: return 10;
+    }
+    return 10;
+}
+
+[[noreturn]] void die(const ctsim::util::Error& e) {
+    std::fprintf(stderr, "ctsim_cli: error: %s\n", e.status().to_string().c_str());
+    std::exit(exit_code_for(e.status().code()));
 }
 
 }  // namespace
@@ -71,6 +103,7 @@ int main(int argc, char** argv) {
         else if (a == "--slew-limit") opt.slew_limit_ps = std::atof(next());
         else if (a == "--slew") opt.slew_target_ps = std::atof(next());
         else if (a == "--grid") opt.grid_cells_per_dim = std::atoi(next());
+        else if (a == "--deadline-ms") opt.deadline_ms = std::atof(next());
         else if (a == "--library") library_path = next();
         else if (a == "--cache-dir") setenv("CTSIM_CACHE_DIR", next(), 1);
         else if (a == "--spice") spice_file = next();
@@ -104,55 +137,90 @@ int main(int argc, char** argv) {
 
     std::vector<cts::SinkSpec> sinks;
     std::string label;
-    if (!bench_name.empty()) {
-        const auto spec = bench_io::find_benchmark(bench_name);
-        if (!spec) {
-            std::fprintf(stderr, "unknown benchmark '%s'\n", bench_name.c_str());
+    try {
+        if (!bench_name.empty()) {
+            const auto spec = bench_io::find_benchmark(bench_name);
+            if (!spec) {
+                std::fprintf(stderr, "unknown benchmark '%s'\n", bench_name.c_str());
+                return 2;
+            }
+            sinks = bench_io::generate(*spec);
+            label = bench_name;
+        } else if (!gsrc_file.empty()) {
+            std::ifstream in(gsrc_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", gsrc_file.c_str());
+                return 2;
+            }
+            sinks = bench_io::parse_gsrc_bst(in, gsrc_file);
+            label = gsrc_file;
+        } else if (!ispd_file.empty()) {
+            std::ifstream in(ispd_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", ispd_file.c_str());
+                return 2;
+            }
+            sinks = bench_io::parse_ispd09(in, ispd_file);
+            label = ispd_file;
+        } else {
+            usage();
             return 2;
         }
-        sinks = bench_io::generate(*spec);
-        label = bench_name;
-    } else if (!gsrc_file.empty()) {
-        std::ifstream in(gsrc_file);
-        if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", gsrc_file.c_str());
-            return 2;
-        }
-        sinks = bench_io::parse_gsrc_bst(in);
-        label = gsrc_file;
-    } else if (!ispd_file.empty()) {
-        std::ifstream in(ispd_file);
-        if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", ispd_file.c_str());
-            return 2;
-        }
-        sinks = bench_io::parse_ispd09(in);
-        label = ispd_file;
-    } else {
-        usage();
-        return 2;
+    } catch (const util::Error& e) {
+        die(e);
     }
 
     const tech::Technology tk = tech::Technology::ptm45_aggressive();
     const tech::BufferLibrary lib = tech::BufferLibrary::standard_three(tk);
-    const auto model = delaylib::FittedLibrary::load_or_characterize(library_path, tk, lib, {});
+    util::Status cache_status;
+    std::unique_ptr<delaylib::FittedLibrary> model;
+    try {
+        model = delaylib::FittedLibrary::load_or_characterize(library_path, tk, lib, {},
+                                                              &cache_status);
+    } catch (const util::Error& e) {
+        die(e);
+    }
+    if (!cache_status.ok())
+        std::fprintf(stderr, "ctsim_cli: warning: delay-library cache rejected (%s); "
+                             "re-characterized and rewrote it\n",
+                     cache_status.to_string().c_str());
 
     if (!quiet)
         std::printf("%s: %zu sinks, slew target %.0f ps (limit %.0f ps)\n", label.c_str(),
                     sinks.size(), opt.slew_target_ps, opt.slew_limit_ps);
 
-    const cts::SynthesisResult result = cts::synthesize(sinks, *model, opt);
+    cts::SynthesisResult result;
+    try {
+        result = cts::synthesize(sinks, *model, opt);
+    } catch (const util::Error& e) {
+        die(e);
+    }
+    const cts::SynthesisDiagnostics& diag = result.diagnostics;
     if (!quiet)
         std::printf("tree: %d levels, %d buffers, %.2f mm wire, %d h-flips\n", result.levels,
                     result.buffer_count, result.wire_length_um / 1000.0,
                     result.hstats.flips);
+    if (diag.c2f_fallbacks > 0)
+        std::fprintf(stderr,
+                     "ctsim_cli: warning: %d coarse-to-fine route%s fell back to the "
+                     "full grid (first at merge node %d)\n",
+                     diag.c2f_fallbacks, diag.c2f_fallbacks == 1 ? "" : "s",
+                     diag.first_c2f_fallback_merge);
+    if (diag.deadline_hit)
+        std::fprintf(stderr,
+                     "ctsim_cli: warning: deadline hit during %s; result degraded "
+                     "(%d early-closed routes, refine %s, reclaim %s)\n",
+                     cts::degrade_stage_name(diag.degraded_at), diag.degraded_routes,
+                     diag.refine_skipped ? "skipped" : "ran",
+                     diag.reclaim_skipped ? "skipped" : "ran");
 
     const circuit::Netlist net = result.netlist(tk, lib);
     const sim::NetlistSimReport rep = sim::simulate_netlist(net, tk, lib);
 
-    std::printf("%s: worst_slew=%.1fps skew=%.2fps latency=%.3fns %s\n", label.c_str(),
+    std::printf("%s: worst_slew=%.1fps skew=%.2fps latency=%.3fns %s%s\n", label.c_str(),
                 rep.worst_slew_ps, rep.skew_ps, rep.max_latency_ps / 1000.0,
-                rep.worst_slew_ps <= opt.slew_limit_ps ? "PASS" : "SLEW-VIOLATION");
+                rep.worst_slew_ps <= opt.slew_limit_ps ? "PASS" : "SLEW-VIOLATION",
+                diag.deadline_hit ? " (degraded)" : "");
 
     if (!spice_file.empty()) {
         std::ofstream deck(spice_file);

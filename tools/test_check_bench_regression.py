@@ -111,6 +111,41 @@ def test_missing_instances_and_modes_are_skipped_not_failed():
     assert "skipped" in out
 
 
+def test_missing_wirelength_column_is_flagged_not_fatal():
+    # A degraded harness run (deadline hit mid-reclaim) can emit a
+    # reclaim record without the wirelength column; the gate must warn
+    # and keep checking the other metrics instead of crashing.
+    base = {"instances": [make_instance("a", modes=("opt", "reclaim"))]}
+    fresh = {"instances": [make_instance("a", modes=("opt", "reclaim"))]}
+    del fresh["instances"][0]["reclaim"]["wirelength_um"]
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+    assert "missing wirelength_um in fresh" in out
+    assert "Traceback" not in out
+
+
+def test_missing_column_does_not_mask_other_regressions():
+    base = {"instances": [make_instance("a", modes=("opt", "reclaim"),
+                                        wirelength=1000.0)]}
+    fresh = {"instances": [make_instance("a", modes=("opt", "reclaim"),
+                                         wirelength=1040.0)]}  # opt regresses
+    del fresh["instances"][0]["reclaim"]["wirelength_um"]
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "a/opt: wirelength" in out
+    assert "missing wirelength_um" in out
+
+
+def test_missing_seconds_column_is_flagged_not_fatal():
+    base = {"instances": [make_instance("a", modes=("opt",))]}
+    fresh = {"instances": [make_instance("a", modes=("opt",))]}
+    del fresh["instances"][0]["opt"]["seconds"]
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+    assert "missing seconds in fresh" in out
+    assert "Traceback" not in out
+
+
 def test_empty_but_wellformed_document_is_a_usage_error():
     # An interrupted harness or renamed instances must not produce a
     # green gate with zero checks.
