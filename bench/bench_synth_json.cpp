@@ -18,7 +18,15 @@
 //   reclaim     - refine + the exact (quantum-0) engine + the
 //                 engine-verified wirelength reclamation pass: the
 //                 current shipped default
-//   reclaim_parallel - reclaim, one thread per hw thread
+//   reclaim_parallel - reclaim, one thread per hw thread, the DAG
+//                 pipeline (docs/parallelism.md): merge / refine /
+//                 reclaim sweeps over the dependency-DAG executor
+//   reclaim_barrier - reclaim_parallel with the PR-1 per-level
+//                 barrier shape (SynthesisOptions::level_barrier) and
+//                 single-threaded post-passes. Its barrier_s phase is
+//                 the previously untimed serial extract/commit cost
+//                 the DAG pipeline removes; the dag_vs_barrier
+//                 speedup is the tentpole's acceptance number.
 //
 // The historical columns pin their PR's configuration explicitly
 // (incremental..refine keep the 0.25 ps slew quantum they were
@@ -34,6 +42,7 @@
 //
 // Environment:
 //   CTSIM_BENCH_QUICK=1   drop the largest instances (CI smoke mode)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,7 +62,9 @@ struct ModeResult {
     int buffers{0};
     double skew_ps{0.0};
     int tree_nodes{0};
-    double reclaimed_um{0.0};  ///< verified net reclaim (reclaim modes)
+    double reclaimed_um{0.0};   ///< verified net reclaim (reclaim modes)
+    double refine_wall_s{0.0};  ///< skew-refine pass wall-clock
+    double reclaim_wall_s{0.0};  ///< wire-reclaim pass wall-clock
     cts::profile::Snapshot phases;
 };
 
@@ -61,7 +72,7 @@ struct InstanceRow {
     std::string name;
     int sinks{0};
     double span_um{0.0};
-    ModeResult seed, opt, incr, c2f, refine, reclaim, reclaim_par;
+    ModeResult seed, opt, incr, c2f, refine, reclaim, reclaim_par, reclaim_barrier;
     bool parallel_identical{true};
 };
 
@@ -109,7 +120,14 @@ ModeResult run_mode(const std::vector<cts::SinkSpec>& sinks, const cts::Synthesi
     // arena slots), consistent with the buffer/wirelength metrics.
     r.tree_nodes = static_cast<int>(res.tree.subtree(res.root).size());
     r.reclaimed_um = res.reclaim.reclaimed_um;
+    r.refine_wall_s = res.refine.wall_s;
+    r.reclaim_wall_s = res.reclaim.wall_s;
     return r;
+}
+
+/// Wall-clock ratio with a floor against timer noise on sub-ms passes.
+double speedup(double serial_s, double parallel_s) {
+    return serial_s / std::max(parallel_s, 1e-9);
 }
 
 InstanceRow run_instance(const std::string& name, int nsinks, double span, unsigned seed) {
@@ -131,15 +149,24 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     row.refine = run_mode(sinks, mode_options(Mode::refine, 1));
     row.reclaim = run_mode(sinks, mode_options(Mode::reclaim, 1));
     row.reclaim_par = run_mode(sinks, mode_options(Mode::reclaim, 0));
-    row.parallel_identical = row.reclaim.wirelength_um == row.reclaim_par.wirelength_um &&
-                             row.reclaim.buffers == row.reclaim_par.buffers &&
-                             row.reclaim.skew_ps == row.reclaim_par.skew_ps &&
-                             row.reclaim.tree_nodes == row.reclaim_par.tree_nodes;
+    {
+        cts::SynthesisOptions bo = mode_options(Mode::reclaim, 0);
+        bo.level_barrier = true;
+        row.reclaim_barrier = run_mode(sinks, bo);
+    }
+    const auto same = [&](const ModeResult& a, const ModeResult& b) {
+        return a.wirelength_um == b.wirelength_um && a.buffers == b.buffers &&
+               a.skew_ps == b.skew_ps && a.tree_nodes == b.tree_nodes;
+    };
+    row.parallel_identical = same(row.reclaim, row.reclaim_par) &&
+                             same(row.reclaim, row.reclaim_barrier);
     std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
-                "c2f %7.3fs  refine %7.3fs  reclaim %7.3fs (-%.0f um wl)  par %7.3fs%s\n",
+                "c2f %7.3fs  refine %7.3fs  reclaim %7.3fs (-%.0f um wl)  "
+                "dag %7.3fs  barrier %7.3fs%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
                 row.incr.seconds, row.c2f.seconds, row.refine.seconds, row.reclaim.seconds,
                 row.reclaim.reclaimed_um, row.reclaim_par.seconds,
+                row.reclaim_barrier.seconds,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -150,17 +177,23 @@ void emit_mode(std::FILE* f, const char* key, const ModeResult& m, bool trailing
                  "      \"%s\": {\"seconds\": %.6f, \"wirelength_um\": %.3f, "
                  "\"buffers\": %d, \"skew_ps\": %.6f, \"tree_nodes\": %d, "
                  "\"reclaimed_um\": %.3f,\n"
+                 "        \"refine_wall_s\": %.6f, \"reclaim_wall_s\": %.6f,\n"
                  "        \"phases\": {\"maze_s\": %.6f, \"balance_s\": %.6f, "
-                 "\"timing_s\": %.6f, \"refine_s\": %.6f, \"reclaim_s\": %.6f},\n"
+                 "\"timing_s\": %.6f, \"refine_s\": %.6f, \"reclaim_s\": %.6f, "
+                 "\"exec_idle_s\": %.6f, \"barrier_s\": %.6f},\n"
                  "        \"maze_calls\": %llu, \"c2f_coarse\": %llu, "
-                 "\"c2f_refined\": %llu, \"c2f_fallbacks\": %llu}%s\n",
+                 "\"c2f_refined\": %llu, \"c2f_fallbacks\": %llu, "
+                 "\"dag_tasks\": %llu, \"dag_steals\": %llu}%s\n",
                  key, m.seconds, m.wirelength_um, m.buffers, m.skew_ps, m.tree_nodes,
-                 m.reclaimed_um, m.phases.maze_s, m.phases.balance_s, m.phases.timing_s,
-                 m.phases.refine_s, m.phases.reclaim_s,
+                 m.reclaimed_um, m.refine_wall_s, m.reclaim_wall_s, m.phases.maze_s,
+                 m.phases.balance_s, m.phases.timing_s, m.phases.refine_s,
+                 m.phases.reclaim_s, m.phases.exec_idle_s, m.phases.barrier_s,
                  static_cast<unsigned long long>(m.phases.maze_calls),
                  static_cast<unsigned long long>(m.phases.c2f_coarse_routes),
                  static_cast<unsigned long long>(m.phases.c2f_refined),
                  static_cast<unsigned long long>(m.phases.c2f_fallbacks),
+                 static_cast<unsigned long long>(m.phases.dag_tasks),
+                 static_cast<unsigned long long>(m.phases.dag_steals),
                  trailing_comma ? "," : "");
 }
 
@@ -234,6 +267,7 @@ int main() {
         emit_mode(f, "refine", r.refine, true);
         emit_mode(f, "reclaim", r.reclaim, true);
         emit_mode(f, "reclaim_parallel", r.reclaim_par, true);
+        emit_mode(f, "reclaim_barrier", r.reclaim_barrier, true);
         std::fprintf(f, "      \"speedup_seed_vs_opt\": %.3f,\n",
                      r.seed.seconds / r.opt.seconds);
         std::fprintf(f, "      \"speedup_opt_vs_incremental\": %.3f,\n",
@@ -249,6 +283,16 @@ int main() {
         std::fprintf(f, "      \"reclaimed_wl_pct\": %.4f,\n",
                      100.0 * r.reclaim.reclaimed_um /
                          (r.reclaim.wirelength_um + r.reclaim.reclaimed_um));
+        // The tentpole's acceptance numbers: whole-pipeline DAG vs
+        // per-level barrier at the same width, and the post-pass
+        // speedups the barrier shape could never report (its passes
+        // were single-threaded by construction).
+        std::fprintf(f, "      \"dag_vs_barrier_speedup\": %.3f,\n",
+                     speedup(r.reclaim_barrier.seconds, r.reclaim_par.seconds));
+        std::fprintf(f, "      \"refine_parallel_speedup\": %.3f,\n",
+                     speedup(r.reclaim.refine_wall_s, r.reclaim_par.refine_wall_s));
+        std::fprintf(f, "      \"reclaim_parallel_speedup\": %.3f,\n",
+                     speedup(r.reclaim.reclaim_wall_s, r.reclaim_par.reclaim_wall_s));
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -266,6 +310,11 @@ int main() {
                      100.0 * (largest->refine.seconds / largest->c2f.seconds - 1.0));
         std::fprintf(f, "  \"largest_reclaim_phase_pct\": %.2f,\n",
                      100.0 * largest->reclaim.phases.reclaim_s / largest->reclaim.seconds);
+        std::fprintf(f, "  \"largest_dag_vs_barrier_speedup\": %.3f,\n",
+                     speedup(largest->reclaim_barrier.seconds,
+                             largest->reclaim_par.seconds));
+        std::fprintf(f, "  \"largest_barrier_cost_s\": %.6f,\n",
+                     largest->reclaim_barrier.phases.barrier_s);
     }
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
@@ -292,6 +341,23 @@ int main() {
                     largest->reclaim.phases.maze_s, largest->reclaim.phases.balance_s,
                     largest->reclaim.phases.timing_s, largest->reclaim.phases.refine_s,
                     largest->reclaim.phases.reclaim_s);
+        std::printf("largest DAG vs barrier: %.3fs vs %.3fs (%.2fx; barrier serial "
+                    "sections %.3fs, DAG idle %.3fs over %llu tasks / %llu steals)\n",
+                    largest->reclaim_par.seconds, largest->reclaim_barrier.seconds,
+                    speedup(largest->reclaim_barrier.seconds, largest->reclaim_par.seconds),
+                    largest->reclaim_barrier.phases.barrier_s,
+                    largest->reclaim_par.phases.exec_idle_s,
+                    static_cast<unsigned long long>(largest->reclaim_par.phases.dag_tasks),
+                    static_cast<unsigned long long>(largest->reclaim_par.phases.dag_steals));
+        std::printf("largest refine/reclaim parallel speedup: %.2fx / %.2fx "
+                    "(pass wall %.3fs/%.3fs serial -> %.3fs/%.3fs dag)\n",
+                    speedup(largest->reclaim.refine_wall_s,
+                            largest->reclaim_par.refine_wall_s),
+                    speedup(largest->reclaim.reclaim_wall_s,
+                            largest->reclaim_par.reclaim_wall_s),
+                    largest->reclaim.refine_wall_s, largest->reclaim.reclaim_wall_s,
+                    largest->reclaim_par.refine_wall_s,
+                    largest->reclaim_par.reclaim_wall_s);
     }
     return all_identical ? 0 : 1;
 }

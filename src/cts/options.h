@@ -106,6 +106,17 @@ struct SynthesisOptions {
     /// Results are bit-for-bit identical across thread counts (merges
     /// are routed in isolation and committed in pairing order).
     int num_threads{1};
+    /// Fallback to the PR 1 level-barrier parallel shape: extract all
+    /// of a level serially, route with parallel_for, drain the commits
+    /// serially -- and leave the refine/reclaim sweeps single-threaded.
+    /// The default (false) pipelines each level through the
+    /// deterministic DAG executor (extract+route concurrently the
+    /// moment a merge's inputs exist, commits published in pairing
+    /// order; see docs/parallelism.md) and runs the refine/reclaim
+    /// sweeps over per-spine DAG nodes. Both shapes are bit-for-bit
+    /// identical to serial; this knob exists so the barrier's cost
+    /// stays benchable. Ignored when num_threads == 1.
+    bool level_barrier{false};
     /// Drive the merge-time re-timing through cts::IncrementalTiming
     /// (dirty-slew propagation) instead of batch subtree re-analysis.
     /// Serial/parallel stays bit-for-bit identical (the engine is a

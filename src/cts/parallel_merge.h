@@ -1,4 +1,4 @@
-// Isolated merge execution for level-parallel synthesis.
+// Isolated merge execution for parallel synthesis.
 //
 // A merge only reads the two subtrees it joins and only writes new
 // nodes (plus the link fields of the two subtree roots), so merges of
@@ -11,6 +11,13 @@
 // with exactly the node ids (and therefore exactly the structure,
 // wirelengths and timing) the serial synthesizer produces: results are
 // bit-for-bit reproducible at any thread count.
+//
+// Scheduling lives in synthesizer.cpp: by default each level's pairs
+// are DAG-executor nodes (run = extract + route, commit = the pairing-
+// order publication; docs/parallelism.md), which overlaps later pairs'
+// routing with earlier pairs' commits instead of joining the level at
+// a barrier. SynthesisOptions::level_barrier restores the original
+// route-all / barrier / commit-all shape as a timed fallback.
 #ifndef CTSIM_CTS_PARALLEL_MERGE_H
 #define CTSIM_CTS_PARALLEL_MERGE_H
 

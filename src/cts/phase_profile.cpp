@@ -21,8 +21,8 @@ void add_ns(Phase p, std::uint64_t ns) {
     g_phase_ns[static_cast<int>(p)].fetch_add(ns, std::memory_order_relaxed);
 }
 
-void bump(Counter c) {
-    g_counters[static_cast<int>(c)].fetch_add(1, std::memory_order_relaxed);
+void bump(Counter c, std::uint64_t n) {
+    g_counters[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
 }
 
 }  // namespace detail
@@ -45,6 +45,8 @@ Snapshot snapshot() {
     s.timing_s = secs(g_phase_ns[static_cast<int>(Phase::timing)]);
     s.refine_s = secs(g_phase_ns[static_cast<int>(Phase::refine)]);
     s.reclaim_s = secs(g_phase_ns[static_cast<int>(Phase::reclaim)]);
+    s.exec_idle_s = secs(g_phase_ns[static_cast<int>(Phase::exec_idle)]);
+    s.barrier_s = secs(g_phase_ns[static_cast<int>(Phase::barrier)]);
     const auto cnt = [](Counter c) {
         return g_counters[static_cast<int>(c)].load(std::memory_order_relaxed);
     };
@@ -54,6 +56,8 @@ Snapshot snapshot() {
     s.c2f_fallbacks = cnt(Counter::c2f_fallbacks);
     s.deadline_trips = cnt(Counter::deadline_trips);
     s.maze_degraded = cnt(Counter::maze_degraded);
+    s.dag_tasks = cnt(Counter::dag_tasks);
+    s.dag_steals = cnt(Counter::dag_steals);
     return s;
 }
 

@@ -20,8 +20,16 @@
 
 namespace ctsim::cts::profile {
 
-enum class Phase : int { maze = 0, balance = 1, timing = 2, refine = 3, reclaim = 4 };
-inline constexpr int kPhaseCount = 5;
+enum class Phase : int {
+    maze = 0,
+    balance = 1,
+    timing = 2,
+    refine = 3,
+    reclaim = 4,
+    exec_idle = 5,  ///< DAG-executor worker wait time (summed over workers)
+    barrier = 6,    ///< level-barrier serial sections (extract + commit drain)
+};
+inline constexpr int kPhaseCount = 7;
 
 enum class Counter : int {
     maze_calls = 0,       ///< maze_route invocations
@@ -30,6 +38,8 @@ enum class Counter : int {
     c2f_fallbacks,        ///< full-grid fallbacks (coarse or corridor failed)
     deadline_trips,       ///< cancel/deadline trips observed by the pipeline
     maze_degraded,        ///< maze expansions closed early on a tripped token
+    dag_tasks,            ///< DAG-executor nodes committed
+    dag_steals,           ///< DAG-executor cross-worker steals
     count_,
 };
 inline constexpr int kCounterCount = static_cast<int>(Counter::count_);
@@ -46,6 +56,10 @@ struct Snapshot {
     std::uint64_t c2f_fallbacks{0};
     std::uint64_t deadline_trips{0};
     std::uint64_t maze_degraded{0};
+    double exec_idle_s{0.0};
+    double barrier_s{0.0};
+    std::uint64_t dag_tasks{0};
+    std::uint64_t dag_steals{0};
 };
 
 void enable(bool on);
@@ -56,12 +70,27 @@ Snapshot snapshot();
 namespace detail {
 std::atomic<bool>& enabled_flag();
 void add_ns(Phase p, std::uint64_t ns);
-void bump(Counter c);
+void bump(Counter c, std::uint64_t n = 1);
 }  // namespace detail
 
 /// Count one event (no-op when profiling is disabled).
 inline void count_event(Counter c) {
     if (detail::enabled_flag().load(std::memory_order_relaxed)) detail::bump(c);
+}
+
+/// Count `n` events at once (no-op when profiling is disabled). Used
+/// to fold DAG-executor stats into the totals after each execute().
+inline void count_events(Counter c, std::uint64_t n) {
+    if (n != 0 && detail::enabled_flag().load(std::memory_order_relaxed))
+        detail::bump(c, n);
+}
+
+/// Attribute pre-measured seconds to a phase (no-op when profiling is
+/// disabled). For durations measured outside a ScopedPhase, like the
+/// executor's summed worker idle time.
+inline void add_seconds(Phase p, double s) {
+    if (s > 0.0 && detail::enabled_flag().load(std::memory_order_relaxed))
+        detail::add_ns(p, static_cast<std::uint64_t>(s * 1e9));
 }
 
 /// RAII phase scope with exclusive attribution (suspends the

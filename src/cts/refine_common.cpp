@@ -74,6 +74,26 @@ std::vector<std::pair<int, int>> merges_deepest_first(const ClockTree& tree, int
     return merges;
 }
 
+std::vector<int> nearest_ancestor_merge(const ClockTree& tree, int root,
+                                        const std::vector<std::pair<int, int>>& merges) {
+    std::vector<int> index_of(tree.size(), -1);
+    for (std::size_t i = 0; i < merges.size(); ++i)
+        index_of[merges[i].second] = static_cast<int>(i);
+    std::vector<int> dep(merges.size(), -1);
+    for (std::size_t i = 0; i < merges.size(); ++i) {
+        const int n = merges[i].second;
+        if (n == root) continue;
+        for (int p = tree.node(n).parent; p >= 0; p = tree.node(p).parent) {
+            if (index_of[p] >= 0) {
+                dep[i] = index_of[p];
+                break;
+            }
+            if (p == root) break;
+        }
+    }
+    return dep;
+}
+
 double solve_stage_wire(delaylib::EvalCache& ec, int btype, int load, double wlo,
                         double whi, double target_ps, int iters) {
     double lo = wlo, hi = whi;

@@ -73,6 +73,20 @@ struct ArrivalWindows {
 /// for determinism. Entries are (-depth, id), sorted.
 std::vector<std::pair<int, int>> merges_deepest_first(const ClockTree& tree, int root);
 
+/// For each entry of `merges` (a merges_deepest_first list over the
+/// subtree at `root`), the INDEX within `merges` of its nearest
+/// ancestor merge, or -1 at the top. This is the dependency relation
+/// both post-pass DAG sweeps hang their edges on: everything a
+/// merge's decision reads -- its children's arrival windows, its own
+/// dirty mark, its side-chain tree state, the reclaim alloc[] flowing
+/// down side chains -- is written only by merges on its own spine, and
+/// the nearest-ancestor edges order exactly those (transitively, all
+/// descendants commit before a merge plans). An ancestor is strictly
+/// shallower, so the edge always points from a lower index to a
+/// higher one: valid DagExecutor edges by construction.
+std::vector<int> nearest_ancestor_merge(const ClockTree& tree, int root,
+                                        const std::vector<std::pair<int, int>>& merges);
+
 /// Monotone-increasing bisection: the w in [wlo, whi] whose stage
 /// delay (driver `btype` into `load`) lands on `target_ps`.
 double solve_stage_wire(delaylib::EvalCache& ec, int btype, int load, double wlo,

@@ -63,8 +63,15 @@
 //   * Determinism: moves are pure functions of (tree, model,
 //     options) -- engine purity plus the shared EvalCache's purely
 //     functional values -- so serial and parallel synthesis refine to
-//     bit-identical trees (the pass itself always runs on one
-//     thread, after all parallel commits).
+//     bit-identical trees. With a thread pool the sweep itself runs
+//     over the DAG executor (docs/parallelism.md): each merge's moves
+//     are PLANNED concurrently from the settled windows of its
+//     dependency closure (edges: merge -> nearest ancestor merge, so
+//     disjoint spines proceed independently) and APPLIED -- tree
+//     edits, engine notifications, window bumps, the counted
+//     cancellation poll -- in deepest-first rank order, which is
+//     exactly the serial visit order. The single truth walk stays at
+//     the sweep boundary.
 //   * Phase attribution: the whole pass runs under
 //     profile::Phase::refine; the rare snake-stage construction keeps
 //     its inner balance scope (exclusive nesting), everything else --
@@ -75,6 +82,10 @@
 #include "cts/clock_tree.h"
 #include "cts/options.h"
 #include "delaylib/delay_model.h"
+
+namespace ctsim::util {
+class ThreadPool;  // util/thread_pool.h
+}
 
 namespace ctsim::cts {
 
@@ -94,15 +105,22 @@ struct SkewRefineStats {
     /// the engine saw, so the tree and engine stay consistent -- the
     /// pass just covered fewer merges than asked.
     bool cancelled{false};
+    /// Wall-clock of the whole pass [s], for the bench harness's
+    /// parallel-speedup columns (profile phase totals sum CPU time
+    /// across workers, which is the wrong numerator for speedup).
+    double wall_s{0.0};
 };
 
 /// Refine the finished tree rooted at `root`. `engine` must be an
 /// IncrementalTiming attached to `tree` and consistent with it (all
 /// prior edits notified); the pass keeps it consistent. Invoked by
 /// synthesize() when SynthesisOptions::skew_refine is set; callable
-/// directly on any tree with merge_route-shaped merges.
+/// directly on any tree with merge_route-shaped merges. A non-null
+/// `pool` (wider than one thread) plans merges concurrently over the
+/// DAG executor; the result is bit-for-bit identical either way.
 SkewRefineStats refine_skew(ClockTree& tree, int root, const delaylib::DelayModel& model,
-                            const SynthesisOptions& opt, IncrementalTiming& engine);
+                            const SynthesisOptions& opt, IncrementalTiming& engine,
+                            util::ThreadPool* pool = nullptr);
 
 }  // namespace ctsim::cts
 

@@ -1,13 +1,16 @@
 #include "cts/synthesizer.h"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <shared_mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "cts/incremental_timing.h"
 #include "cts/parallel_merge.h"
 #include "cts/phase_profile.h"
+#include "util/dag_executor.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -37,6 +40,14 @@ void validate_sinks(const std::vector<SinkSpec>& sinks) {
             util::throw_status(util::Status::invalid_input(
                 describe("needs a positive finite capacitance")));
     }
+}
+
+/// Fold one DAG execution's scheduling stats into the profile totals.
+void fold_dag_stats(const util::DagExecutor::Stats& st) {
+    profile::add_seconds(profile::Phase::exec_idle, st.idle_s);
+    profile::count_events(profile::Counter::dag_tasks,
+                          static_cast<std::uint64_t>(st.committed));
+    profile::count_events(profile::Counter::dag_steals, st.steals);
 }
 
 }  // namespace
@@ -131,13 +142,67 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
 
         std::vector<int> next;
         next.reserve(pairs.size() + 1);
-        if (pool && pairs.size() > 1) {
+        if (pool && pairs.size() > 1 && !opt.level_barrier) {
+            // DAG pipeline (docs/parallelism.md): one node per pair,
+            // extract+route in the concurrent run phase, commit in the
+            // rank-ordered lane. Pairs within a level are independent
+            // (no edges); ranks = pairing order reproduce the serial
+            // node-id sequence exactly. Unlike the barrier below, a
+            // worker starts routing the moment it extracts -- and
+            // commits drain while later routes are still in flight.
+            // The shared arena is the one read/write conflict: runs
+            // snapshot subtrees under a shared lock, commits append
+            // under the exclusive side.
+            std::vector<ExtractedMerge> jobs(pairs.size());
+            std::shared_mutex tree_mu;
+            util::DagExecutor dag;
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+                const auto [u, v] = pairs[i];
+                // Pairing-time snapshots: commits insert fresh keys
+                // into `timing`, so runs must not touch the map.
+                const RootTiming ta = timing.at(u);
+                const RootTiming tb = timing.at(v);
+                dag.add_node(
+                    [&, u, v, ta, tb, i] {
+                        {
+                            std::shared_lock<std::shared_mutex> lk(tree_mu);
+                            jobs[i] = extract_merge(res.tree, u, v, ta, tb);
+                        }
+                        route_extracted(jobs[i], model, opt);
+                    },
+                    [&, i] {
+                        MergeRecord rec;
+                        {
+                            std::unique_lock<std::shared_mutex> lk(tree_mu);
+                            rec = commit_extracted(res.tree, jobs[i]);
+                        }
+                        note_record(rec);
+                        records[rec.merge_node] = rec;
+                        timing[rec.merge_node] = rec.timing;
+                        next.push_back(rec.merge_node);
+                    });
+            }
+            // No cancel token on purpose: a tripped deadline degrades
+            // routes (they close on their incumbent) but every merge
+            // of the level still commits -- the tree must reach a
+            // single root. Route errors rethrow lowest-rank-first,
+            // matching the serial first-failure order.
+            dag.execute(pool.get());
+            fold_dag_stats(dag.stats());
+        } else if (pool && pairs.size() > 1) {
+            // level_barrier fallback: the PR 1 shape, kept benchable.
+            // The serial extract prefix and commit drain are what the
+            // DAG path pipelines away; they are timed here (barrier_s)
+            // so the comparison is honest.
+            const auto t0 = std::chrono::steady_clock::now();
             std::vector<ExtractedMerge> jobs;
             jobs.reserve(pairs.size());
             for (auto [u, v] : pairs)
                 jobs.push_back(extract_merge(res.tree, u, v, timing.at(u), timing.at(v)));
+            const auto t1 = std::chrono::steady_clock::now();
             pool->parallel_for(static_cast<int>(jobs.size()),
                                [&](int i) { route_extracted(jobs[i], model, opt); });
+            const auto t2 = std::chrono::steady_clock::now();
             for (const ExtractedMerge& j : jobs) {
                 const MergeRecord rec = commit_extracted(res.tree, j);
                 note_record(rec);
@@ -145,6 +210,10 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                 timing[rec.merge_node] = rec.timing;
                 next.push_back(rec.merge_node);
             }
+            const auto t3 = std::chrono::steady_clock::now();
+            profile::add_seconds(
+                profile::Phase::barrier,
+                std::chrono::duration<double>((t1 - t0) + (t3 - t2)).count());
         } else {
             for (auto [u, v] : pairs) {
                 IncrementalTiming* eng = engine.get();
@@ -192,12 +261,14 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     // (wire_reclaim.h) on the same engine -- reclamation trusts the
     // engine to verify its batches, so the engine must have seen
     // every refinement edit. Serial runs reuse the persistent engine;
-    // pooled runs (and the batch-retimed path) build a fresh one here
-    // -- both passes are single-threaded either way and engine purity
-    // keeps the result bit-for-bit identical across thread counts.
-    // With the incremental engine disabled the post-pass engine runs
-    // at an exact (zero) slew quantum, matching batch re-timing
-    // semantics.
+    // pooled runs (and the batch-retimed path) build a fresh one here.
+    // Pooled runs also hand both passes the pool: their deepest-first
+    // sweeps run over the DAG executor (plan concurrently, apply in
+    // rank order -- see docs/parallelism.md), and engine purity plus
+    // rank-ordered application keeps the result bit-for-bit identical
+    // across thread counts. With the incremental engine disabled the
+    // post-pass engine runs at an exact (zero) slew quantum, matching
+    // batch re-timing semantics.
     if ((opt.skew_refine || opt.wire_reclaim) && !tripped_before_passes) {
         IncrementalTiming* eng = engine.get();
         std::unique_ptr<IncrementalTiming> local;
@@ -207,7 +278,9 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             local = std::make_unique<IncrementalTiming>(res.tree, model, topt);
             eng = local.get();
         }
-        if (opt.skew_refine) res.refine = refine_skew(res.tree, res.root, model, opt, *eng);
+        util::ThreadPool* pass_pool = opt.level_barrier ? nullptr : pool.get();
+        if (opt.skew_refine)
+            res.refine = refine_skew(res.tree, res.root, model, opt, *eng, pass_pool);
         if (res.refine.cancelled) {
             diag.deadline_hit = true;
             diag.degraded_at = DegradeStage::refine;
@@ -215,7 +288,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             diag.reclaim_skipped = opt.wire_reclaim;
             profile::count_event(profile::Counter::deadline_trips);
         } else if (opt.wire_reclaim) {
-            res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng);
+            res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng, pass_pool);
             if (res.reclaim.cancelled) {
                 diag.deadline_hit = true;
                 diag.degraded_at = DegradeStage::reclaim;

@@ -1,6 +1,7 @@
 #include "cts/wire_reclaim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,8 @@
 #include "cts/maze.h"
 #include "cts/phase_profile.h"
 #include "cts/refine_common.h"
+#include "util/dag_executor.h"
+#include "util/thread_pool.h"
 
 namespace ctsim::cts {
 
@@ -320,37 +323,60 @@ struct MergePlan {
     bool granted{false};
 };
 
+/// Scan one merge into its MergePlan slot: shape, sweep-start
+/// imbalance, own-wire slacks and the ranking proxy (the wire this
+/// merge's own slack would reclaim if the schedule routed all of
+/// it). Pure reads of (tree, win) plus EvalCache values -- safe to
+/// fan out, one disjoint slot per merge.
+void scan_merge(const ClockTree& tree, const delaylib::DelayModel& model,
+                delaylib::EvalCache& ec, const SynthesisOptions& opt,
+                const ArrivalWindows& win, int m, MergePlan& mp) {
+    const TreeNode& node = tree.node(m);
+    if (node.kind != NodeKind::merge || node.children.size() != 2) return;
+    if (!scan_side(tree, model, ec, node.children[0], mp.A) ||
+        !scan_side(tree, model, ec, node.children[1], mp.B))
+        return;
+    mp.shaped = true;
+    mp.delta = win.mx[mp.A.ms.iso] - win.mx[mp.B.ms.iso];
+    mp.slackA = side_slack(tree, model, ec, mp.A);
+    mp.slackB = side_slack(tree, model, ec, mp.B);
+    const double tA = std::min(mp.slackA, mp.slackB + mp.delta);
+    if (tA >= kMovePs) {
+        const SideMove mvA = plan_side(tree, model, ec, mp.A, tA, opt);
+        const SideMove mvB =
+            plan_side(tree, model, ec, mp.B,
+                      std::clamp(mvA.achieved_ps - mp.delta, 0.0, mp.slackB), opt);
+        mp.predicted = mvA.reclaim_um + mvB.reclaim_um;
+    }
+}
+
 SweepCounts run_sweep(ClockTree& tree, const std::vector<std::pair<int, int>>& merges,
-                      const std::vector<char>& top_merge,
+                      const std::vector<int>& deps, const std::vector<char>& top_merge,
                       const delaylib::DelayModel& model, delaylib::EvalCache& ec,
                       const SynthesisOptions& opt, IncrementalTiming& engine,
-                      const ArrivalWindows& win, int batch, EditJournal& journal) {
+                      const ArrivalWindows& win, int batch, EditJournal& journal,
+                      util::ThreadPool* pool) {
+    const bool parallel = pool != nullptr && pool->size() > 1 && merges.size() > 1;
+
     // --- scan + rank ----------------------------------------------
+    // The scan is a pure read fan-out (disjoint MergePlan slots);
+    // candidate collection and ranking stay serial so grants are a
+    // deterministic function of the predicted values alone.
     std::vector<MergePlan> plan(tree.size());
-    std::vector<std::pair<double, int>> cand;  // (predicted um, id)
-    for (const auto& [negdepth, m] : merges) {
-        const TreeNode& node = tree.node(m);
-        if (node.kind != NodeKind::merge || node.children.size() != 2) continue;
-        MergePlan& mp = plan[m];
-        if (!scan_side(tree, model, ec, node.children[0], mp.A) ||
-            !scan_side(tree, model, ec, node.children[1], mp.B))
-            continue;
-        mp.shaped = true;
-        mp.delta = win.mx[mp.A.ms.iso] - win.mx[mp.B.ms.iso];
-        mp.slackA = side_slack(tree, model, ec, mp.A);
-        mp.slackB = side_slack(tree, model, ec, mp.B);
-        // Ranking proxy: the wire this merge's own slack would
-        // reclaim if the schedule routed all of it.
-        const double tA = std::min(mp.slackA, mp.slackB + mp.delta);
-        if (tA >= kMovePs) {
-            const SideMove mvA = plan_side(tree, model, ec, mp.A, tA, opt);
-            const SideMove mvB =
-                plan_side(tree, model, ec, mp.B,
-                          std::clamp(mvA.achieved_ps - mp.delta, 0.0, mp.slackB), opt);
-            mp.predicted = mvA.reclaim_um + mvB.reclaim_um;
-        }
-        if (mp.predicted >= kMinGrantUm) cand.push_back({mp.predicted, m});
+    if (!parallel) {
+        for (const auto& [negdepth, m] : merges)
+            scan_merge(tree, model, ec, opt, win, m, plan[m]);
+    } else {
+        pool->parallel_for(static_cast<int>(merges.size()), [&](int idx) {
+            profile::ScopedPhase sp(profile::Phase::reclaim);
+            delaylib::EvalCache& tec = eval_cache_for(model, opt);
+            scan_merge(tree, model, tec, opt, win, merges[idx].second,
+                       plan[merges[idx].second]);
+        });
     }
+    std::vector<std::pair<double, int>> cand;  // (predicted um, id)
+    for (const auto& [negdepth, m] : merges)
+        if (plan[m].predicted >= kMinGrantUm) cand.push_back({plan[m].predicted, m});
     std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
         return a.first != b.first ? a.first > b.first : a.second < b.second;
     });
@@ -387,28 +413,91 @@ SweepCounts run_sweep(ClockTree& tree, const std::vector<std::pair<int, int>>& m
     // solve/quantization noise lands in the later sweeps' truth walk
     // instead of compounding down the spine.
     std::vector<double> alloc(tree.size(), 0.0);
-    for (std::size_t i = merges.size(); i-- > 0;) {
-        // A trip mid-assignment stops planning further moves; the
-        // caller then rolls the partial batch back through the
-        // journal, so stopping anywhere in this loop is safe.
-        if (opt.cancel && opt.cancel->cancelled()) break;
-        const int m = merges[i].second;
+    // Plan one merge's two side moves and push the remainder down its
+    // chains. Reads this merge's alloc[] (written only by its nearest
+    // ancestor merge) and its own side chains (written only by its
+    // own planned edits -- ancestor edits stop at the chain ABOVE
+    // this merge), so with the ancestor applied it reads exactly the
+    // serial tree.
+    const auto plan_merge = [&](int m, delaylib::EvalCache& cache, SideMove& outA,
+                                SideMove& outB) {
         MergePlan& mp = plan[m];
-        if (!mp.shaped) continue;
+        if (!mp.shaped) return;
         if (top_merge[m]) alloc[m] = mp.r;
         const double u = std::min(alloc[m], mp.r);
-        const auto side = [&](Side& s, double d_fix, double slack) {
+        if (u < kMovePs && std::abs(mp.delta) < kMovePs) return;
+        const auto side = [&](Side& s, double d_fix, double slack, SideMove& out) {
             double t = std::min(u + d_fix, (s.below >= 0 ? plan[s.below].r : 0.0) +
                                                (mp.granted ? slack : 0.0));
             const double own = mp.granted ? std::min(t, slack) : 0.0;
-            const SideMove mv = plan_side(tree, model, ec, s, own, opt);
-            if (!mv.edits.empty()) apply_move(tree, engine, journal, mv, counts);
+            out = plan_side(tree, model, cache, s, own, opt);
             if (s.below >= 0)
-                alloc[s.below] = std::clamp(t - mv.achieved_ps, 0.0, plan[s.below].r);
+                alloc[s.below] = std::clamp(t - out.achieved_ps, 0.0, plan[s.below].r);
         };
-        if (u < kMovePs && std::abs(mp.delta) < kMovePs) continue;
-        side(mp.A, std::max(mp.delta, 0.0), mp.slackA);
-        side(mp.B, std::max(-mp.delta, 0.0), mp.slackB);
+        side(mp.A, std::max(mp.delta, 0.0), mp.slackA, outA);
+        side(mp.B, std::max(-mp.delta, 0.0), mp.slackB, outB);
+    };
+    if (!parallel) {
+        for (std::size_t i = merges.size(); i-- > 0;) {
+            // A trip mid-assignment stops planning further moves; the
+            // caller then rolls the partial batch back through the
+            // journal, so stopping anywhere in this loop is safe.
+            if (opt.cancel && opt.cancel->cancelled()) break;
+            SideMove mvA, mvB;
+            plan_merge(merges[i].second, ec, mvA, mvB);
+            if (!mvA.edits.empty()) apply_move(tree, engine, journal, mvA, counts);
+            if (!mvB.edits.empty()) apply_move(tree, engine, journal, mvB, counts);
+        }
+    } else {
+        // DAG walk (docs/parallelism.md): node j is the j-th merge of
+        // the REVERSED (shallowest-first) list, so rank order is the
+        // serial top-down visit order -- the journal records the
+        // node-for-node identical edit sequence and rollback stays
+        // exact. Planning (including the alloc[] push-down, consumed
+        // by dependents' runs) happens in the run phase; tree edits,
+        // engine notifications and the journal in the commit lane.
+        // Ballast removal only splices links (no arena growth), so
+        // concurrent plan reads need no tree lock: every node a plan
+        // touches is on its own spine, committed before it runs.
+        const std::size_t n = merges.size();
+        util::DagExecutor dag;
+        std::vector<std::pair<SideMove, SideMove>> moves(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t i = n - 1 - j;
+            const int m = merges[i].second;
+            dag.add_node(
+                [&, j, m] {
+                    profile::ScopedPhase sp(profile::Phase::reclaim);
+                    delaylib::EvalCache& tec = eval_cache_for(model, opt);
+                    plan_merge(m, tec, moves[j].first, moves[j].second);
+                },
+                [&, j] {
+                    // Uncounted poll, mirroring the serial loop head:
+                    // the trip point never shows in the returned tree
+                    // (the caller rolls the batch back wholesale), so
+                    // it needs no deterministic placement -- stopping
+                    // the lane just avoids planning a doomed batch.
+                    if (opt.cancel && opt.cancel->cancelled()) {
+                        dag.request_stop();
+                        return;
+                    }
+                    profile::ScopedPhase sp(profile::Phase::reclaim);
+                    if (!moves[j].first.edits.empty())
+                        apply_move(tree, engine, journal, moves[j].first, counts);
+                    if (!moves[j].second.edits.empty())
+                        apply_move(tree, engine, journal, moves[j].second, counts);
+                });
+            // deps names each merge's nearest ancestor in the
+            // deepest-first list; reversed, the ancestor sits at a
+            // LOWER node index -- the executor's required direction.
+            if (deps[i] >= 0) dag.add_edge(static_cast<int>(n - 1 - deps[i]),
+                                           static_cast<int>(j));
+        }
+        dag.execute(pool);
+        profile::add_seconds(profile::Phase::exec_idle, dag.stats().idle_s);
+        profile::count_events(profile::Counter::dag_tasks,
+                              static_cast<std::uint64_t>(dag.stats().committed));
+        profile::count_events(profile::Counter::dag_steals, dag.stats().steals);
     }
     return counts;
 }
@@ -416,15 +505,22 @@ SweepCounts run_sweep(ClockTree& tree, const std::vector<std::pair<int, int>>& m
 }  // namespace
 
 WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayModel& model,
-                              const SynthesisOptions& opt, IncrementalTiming& engine) {
+                              const SynthesisOptions& opt, IncrementalTiming& engine,
+                              util::ThreadPool* pool) {
     profile::ScopedPhase phase(profile::Phase::reclaim);
+    const auto wall0 = std::chrono::steady_clock::now();
     WireReclaimStats stats;
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
 
     // Ballast removal never adds or removes merge nodes, so one
-    // deepest-first list serves every sweep.
+    // deepest-first list serves every sweep -- and since it never
+    // restructures merge ancestry either, so does the dependency
+    // relation the DAG sweeps hang their edges on.
     const std::vector<std::pair<int, int>> merges =
         refine_detail::merges_deepest_first(tree, root);
+    std::vector<int> deps;
+    if (pool != nullptr && pool->size() > 1 && merges.size() > 1)
+        deps = refine_detail::nearest_ancestor_merge(tree, root, merges);
 
     // The top merge: the unique merge with no other merge between it
     // and the analysis root, on a `root` that is a whole tree
@@ -486,9 +582,8 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
         win.rebuild(tree, root, rep);
 
         EditJournal journal;
-        const SweepCounts counts =
-            run_sweep(tree, merges, top_merge, model, ec, opt, engine, win, batch,
-                      journal);
+        const SweepCounts counts = run_sweep(tree, merges, deps, top_merge, model, ec,
+                                             opt, engine, win, batch, journal, pool);
         if (opt.cancel && opt.cancel->cancelled()) {
             // Tripped mid-sweep: the batch is unverified. Undo it
             // wholesale (recorded inverse edits, engine re-notified)
@@ -527,6 +622,8 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
 
     stats.final_wirelength_um = tree.wire_length_below(root);
     stats.reclaimed_um = stats.initial_wirelength_um - stats.final_wirelength_um;
+    stats.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
     return stats;
 }
 

@@ -53,9 +53,21 @@
 //     total is impossible because every accepted batch's net reclaim
 //     is re-measured on the tree itself (final_wirelength_um).
 //   * Determinism: candidates, grants and solved wire lengths are
-//     pure functions of (tree, model, options); the pass runs
-//     single-threaded after all parallel commits, so serial and
-//     parallel synthesis reclaim to bit-identical trees.
+//     pure functions of (tree, model, options), so serial and
+//     parallel synthesis reclaim to bit-identical trees. With a
+//     thread pool each sweep runs over the DAG executor
+//     (docs/parallelism.md): the scan fans out read-only, ranking /
+//     grants / capacity stay serial (they fold the whole scan), and
+//     the assignment walk PLANS each merge's moves concurrently once
+//     its spine ancestors have applied (alloc[] flows down nearest-
+//     ancestor-merge edges, the reverse of skew_refine's) while
+//     APPLYING them -- tree edits, engine notifications, the
+//     EditJournal -- in rank order, which is exactly the serial
+//     top-down visit order; rollback therefore replays node-for-node
+//     identical inverse edits. Cancellation inside a sweep uses only
+//     uncounted polls (the batch is rolled back wholesale, so the
+//     trip point never shows in the tree); the counted poll sits at
+//     the sweep boundary, same as serial.
 //   * Phase attribution: the whole pass, engine walks included,
 //     bills to profile::Phase::reclaim.
 #ifndef CTSIM_CTS_WIRE_RECLAIM_H
@@ -64,6 +76,10 @@
 #include "cts/clock_tree.h"
 #include "cts/options.h"
 #include "delaylib/delay_model.h"
+
+namespace ctsim::util {
+class ThreadPool;  // util/thread_pool.h
+}
 
 namespace ctsim::cts {
 
@@ -87,6 +103,10 @@ struct WireReclaimStats {
     /// tree is exactly the last verified state -- cancellation never
     /// leaves an unverified batch in the tree.
     bool cancelled{false};
+    /// Wall-clock of the whole pass [s], for the bench harness's
+    /// parallel-speedup columns (profile phase totals sum CPU time
+    /// across workers, which is the wrong numerator for speedup).
+    double wall_s{0.0};
 };
 
 /// Reclaim balance wire from the finished tree rooted at `root`.
@@ -99,9 +119,12 @@ struct WireReclaimStats {
 /// `root` is a whole tree (parentless) with a unique topmost merge:
 /// for a SUBTREE root the pass cannot verify the parent merge its
 /// latency shift would unbalance, so such calls conservatively
-/// reclaim only through balance fixes.
+/// reclaim only through balance fixes. A non-null `pool` (wider than
+/// one thread) scans and plans merges concurrently over the DAG
+/// executor; the result is bit-for-bit identical either way.
 WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayModel& model,
-                              const SynthesisOptions& opt, IncrementalTiming& engine);
+                              const SynthesisOptions& opt, IncrementalTiming& engine,
+                              util::ThreadPool* pool = nullptr);
 
 }  // namespace ctsim::cts
 

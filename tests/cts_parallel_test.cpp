@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "cts_test_util.h"
+#include "util/cancel.h"
 
 namespace ctsim::cts {
 namespace {
@@ -86,6 +90,109 @@ TEST(ParallelSynth, BatchRetimingPathStaysIdenticalToSerial) {
     serial_o.num_threads = 1;
     expect_identical(synthesize(sinks, analytic(), serial_o),
                      synthesize(sinks, analytic(), o));
+}
+
+TEST(ParallelSynth, ThreadByPhaseMatrixMatchesSerial) {
+    // Every pipeline phase that can run over the executor -- merge
+    // DAG alone, plus the refine sweep, plus the reclaim sweep -- at
+    // every interesting width (1 = inline executor, 2/3 = contended
+    // lane, 0 = hardware width): each cell must be bit-identical to
+    // the single-threaded run of the SAME phase set, so a determinism
+    // leak is attributed to a phase, not just to "parallel".
+    const auto sinks = random_sinks(40, 21000.0, 11);
+    struct PhaseSet {
+        const char* name;
+        bool refine, reclaim;
+    };
+    const PhaseSet phase_sets[] = {
+        {"merge-only", false, false},
+        {"merge+refine", true, false},
+        {"merge+reclaim", false, true},
+        {"all", true, true},
+    };
+    for (const PhaseSet& ps : phase_sets) {
+        SynthesisOptions so = opts(1);
+        so.skew_refine = ps.refine;
+        so.wire_reclaim = ps.reclaim;
+        const auto serial = synthesize(sinks, analytic(), so);
+        for (int threads : {1, 2, 3, 0}) {
+            SynthesisOptions o = opts(threads);
+            o.skew_refine = ps.refine;
+            o.wire_reclaim = ps.reclaim;
+            SCOPED_TRACE(std::string(ps.name) + " threads=" + std::to_string(threads));
+            expect_identical(serial, synthesize(sinks, analytic(), o));
+        }
+    }
+}
+
+TEST(ParallelSynth, LevelBarrierFallbackMatchesDagPipeline) {
+    // The PR 1 per-level barrier shape is kept as a benchable
+    // baseline (SynthesisOptions::level_barrier); it must produce the
+    // same tree as both the serial run and the default DAG pipeline.
+    const auto sinks = random_sinks(40, 21000.0, 19);
+    const auto serial = synthesize(sinks, analytic(), opts(1));
+    for (int threads : {2, 4}) {
+        SynthesisOptions o = opts(threads);
+        o.level_barrier = true;
+        SCOPED_TRACE("barrier threads=" + std::to_string(threads));
+        expect_identical(serial, synthesize(sinks, analytic(), o));
+    }
+    expect_identical(serial, synthesize(sinks, analytic(), opts(4)));
+}
+
+TEST(ParallelSynth, PostPassDeadlineCutsMatchSerial) {
+    // Deadline-cut x DAG interaction. Counted polls inside the merge
+    // phase are consumed by concurrently running routes, so per-poll
+    // attribution there is schedule-dependent (cts_deadline_test pins
+    // the serial contract) -- but their TOTAL is a sum over routes,
+    // order-independent. Cuts landing past the merge phase hit the
+    // refine lane's rank-ordered polls or reclaim's sweep-boundary
+    // polls, so the degraded tree must be bit-identical to the serial
+    // run cut at the same count, at any width, in both pipeline
+    // shapes.
+    const auto sinks = random_sinks(40, 21000.0, 11);
+
+    util::CancelToken mprobe;
+    mprobe.trip_after(~std::uint64_t{0});
+    SynthesisOptions mo = opts(1);
+    mo.skew_refine = false;
+    mo.wire_reclaim = false;
+    mo.cancel = &mprobe;
+    (void)synthesize(sinks, analytic(), mo);
+    const std::uint64_t merge_polls = mprobe.checks();
+
+    util::CancelToken probe;
+    probe.trip_after(~std::uint64_t{0});
+    SynthesisOptions po = opts(1);
+    po.cancel = &probe;
+    (void)synthesize(sinks, analytic(), po);
+    const std::uint64_t total = probe.checks();
+    ASSERT_GT(total, merge_polls + 2) << "post-passes consumed no polls";
+
+    for (std::uint64_t n :
+         {merge_polls + 1, merge_polls + (total - merge_polls) / 2, total - 1}) {
+        util::CancelToken st;
+        st.trip_after(n);
+        SynthesisOptions so = opts(1);
+        so.cancel = &st;
+        const auto serial = synthesize(sinks, analytic(), so);
+        ASSERT_TRUE(serial.diagnostics.deadline_hit) << "n=" << n;
+        for (int threads : {2, 3, 0}) {
+            for (bool barrier : {false, true}) {
+                util::CancelToken tok;
+                tok.trip_after(n);
+                SynthesisOptions o = opts(threads);
+                o.level_barrier = barrier;
+                o.cancel = &tok;
+                SCOPED_TRACE("cut n=" + std::to_string(n) + " threads=" +
+                             std::to_string(threads) + (barrier ? " barrier" : " dag"));
+                const auto par = synthesize(sinks, analytic(), o);
+                expect_identical(serial, par);
+                EXPECT_EQ(serial.diagnostics.deadline_hit, par.diagnostics.deadline_hit);
+                EXPECT_EQ(serial.diagnostics.degraded_at, par.diagnostics.degraded_at);
+            }
+        }
+    }
 }
 
 TEST(ParallelSynth, UnoptimizedFlagsStillWork) {
