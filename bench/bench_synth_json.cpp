@@ -41,7 +41,14 @@
 // serial twin (they must be identical).
 //
 // Environment:
-//   CTSIM_BENCH_QUICK=1   drop the largest instances (CI smoke mode)
+//   CTSIM_BENCH_QUICK=1     drop the largest instances (CI smoke mode)
+//   CTSIM_BENCH_RSS_ONLY=1  one shipped-default synthesis per (quick)
+//                           instance, printing the per-instance peak
+//                           RSS and nothing else -- the sanitizer CI
+//                           jobs' memory-footprint trend, cheap enough
+//                           to run under ASan/TSan's slowdown
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +62,16 @@
 namespace {
 
 using namespace ctsim;
+
+/// Process-lifetime peak RSS in MB (ru_maxrss is KB on Linux). The
+/// counter is a monotone high-water, so each instance's value is the
+/// peak as of the end of that instance -- the first row that jumps it
+/// is the one that owns the footprint.
+double peak_rss_mb() {
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 struct ModeResult {
     double seconds{0.0};
@@ -74,6 +91,7 @@ struct InstanceRow {
     double span_um{0.0};
     ModeResult seed, opt, incr, c2f, refine, reclaim, reclaim_par, reclaim_barrier;
     bool parallel_identical{true};
+    double peak_rss_mb{0.0};  ///< process high-water as of this instance's end
 };
 
 enum class Mode { seed, opt, incremental, maze_c2f, refine, reclaim };
@@ -160,13 +178,14 @@ InstanceRow run_instance(const std::string& name, int nsinks, double span, unsig
     };
     row.parallel_identical = same(row.reclaim, row.reclaim_par) &&
                              same(row.reclaim, row.reclaim_barrier);
+    row.peak_rss_mb = peak_rss_mb();
     std::printf("%-18s %6d sinks %7.0f um | seed %7.3fs  opt %7.3fs  incr %7.3fs  "
                 "c2f %7.3fs  refine %7.3fs  reclaim %7.3fs (-%.0f um wl)  "
-                "dag %7.3fs  barrier %7.3fs%s\n",
+                "dag %7.3fs  barrier %7.3fs  rss %6.1f MB%s\n",
                 name.c_str(), nsinks, span, row.seed.seconds, row.opt.seconds,
                 row.incr.seconds, row.c2f.seconds, row.refine.seconds, row.reclaim.seconds,
                 row.reclaim.reclaimed_um, row.reclaim_par.seconds,
-                row.reclaim_barrier.seconds,
+                row.reclaim_barrier.seconds, row.peak_rss_mb,
                 row.parallel_identical ? "" : "  [PARALLEL MISMATCH]");
     std::fflush(stdout);
     return row;
@@ -217,6 +236,35 @@ int main() {
         warm.seed = 1;
         const auto sinks = bench_io::generate(warm);
         (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::reclaim, 1));
+    }
+
+    if (std::getenv("CTSIM_BENCH_RSS_ONLY") != nullptr) {
+        // Sanitizer CI mode: synthesize each quick instance once in
+        // the shipped default configuration and report the process
+        // peak-RSS high-water after each -- the first instance that
+        // jumps the number owns the footprint.
+        const struct {
+            const char* name;
+            int n;
+            double span;
+            unsigned seed;
+        } specs[] = {
+            {"scal_n100", 100, 40000.0, 11},   {"scal_n200", 200, 40000.0, 11},
+            {"scal_n400", 400, 40000.0, 11},   {"scal_span20", 400, 20000.0, 13},
+            {"gsrc_r267", 267, 69000.0, 42},
+        };
+        for (const auto& s : specs) {
+            bench_io::BenchmarkSpec spec;
+            spec.name = s.name;
+            spec.sink_count = s.n;
+            spec.die_span_um = s.span;
+            spec.seed = s.seed;
+            const auto sinks = bench_io::generate(spec);
+            (void)cts::synthesize(sinks, bench::fitted(), mode_options(Mode::reclaim, 0));
+            std::printf("%-14s peak RSS %7.1f MB\n", s.name, peak_rss_mb());
+            std::fflush(stdout);
+        }
+        return 0;
     }
 
     std::vector<InstanceRow> rows;
@@ -293,6 +341,7 @@ int main() {
                      speedup(r.reclaim.refine_wall_s, r.reclaim_par.refine_wall_s));
         std::fprintf(f, "      \"reclaim_parallel_speedup\": %.3f,\n",
                      speedup(r.reclaim.reclaim_wall_s, r.reclaim_par.reclaim_wall_s));
+        std::fprintf(f, "      \"peak_rss_mb\": %.1f,\n", r.peak_rss_mb);
         std::fprintf(f, "      \"parallel_identical\": %s\n    }%s\n",
                      r.parallel_identical ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
@@ -316,10 +365,11 @@ int main() {
         std::fprintf(f, "  \"largest_barrier_cost_s\": %.6f,\n",
                      largest->reclaim_barrier.phases.barrier_s);
     }
+    std::fprintf(f, "  \"peak_rss_mb\": %.1f,\n", peak_rss_mb());
     std::fprintf(f, "  \"all_parallel_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);
 
-    std::printf("\nwrote BENCH_synth.json\n");
+    std::printf("\nwrote BENCH_synth.json\npeak RSS: %.1f MB\n", peak_rss_mb());
     if (largest) {
         std::printf("largest complexity_scaling speedup (seed -> opt): %.2fx\n",
                     largest->seed.seconds / largest->opt.seconds);

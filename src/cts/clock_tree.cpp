@@ -3,11 +3,75 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "cts/memory_ladder.h"
 #include "util/fault_injection.h"
 #include "util/status.h"
 
 namespace ctsim::cts {
+
+namespace {
+/// Budget charge per arena node: the TreeNode itself plus a flat
+/// allowance for its heap parts (children vector, name). Advisory
+/// accounting -- the ladder needs proportional pressure, not
+/// malloc-exact bytes.
+constexpr std::uint64_t kTreeNodeBytes = sizeof(TreeNode) + 48;
+}  // namespace
+
+ClockTree::~ClockTree() {
+    if (ladder_ != nullptr && charged_bytes_ > 0) ladder_->release(charged_bytes_);
+}
+
+ClockTree& ClockTree::operator=(const ClockTree& o) {
+    if (this == &o) return *this;
+    // Keep this tree's own ladder binding: the nodes change, so the
+    // charge is re-based on the new size.
+    const std::uint64_t want =
+        ladder_ != nullptr ? kTreeNodeBytes * o.nodes_.size() : 0;
+    if (ladder_ != nullptr) {
+        if (want > charged_bytes_)
+            ladder_->charge_required(want - charged_bytes_, "clock tree node arena");
+        else if (charged_bytes_ > want)
+            ladder_->release(charged_bytes_ - want);
+        charged_bytes_ = want;
+    }
+    nodes_ = o.nodes_;
+    return *this;
+}
+
+ClockTree::ClockTree(ClockTree&& o) noexcept
+    : nodes_(std::move(o.nodes_)), ladder_(o.ladder_), charged_bytes_(o.charged_bytes_) {
+    o.ladder_ = nullptr;
+    o.charged_bytes_ = 0;
+    o.nodes_.clear();
+}
+
+ClockTree& ClockTree::operator=(ClockTree&& o) noexcept {
+    if (this == &o) return *this;
+    if (ladder_ != nullptr && charged_bytes_ > 0) ladder_->release(charged_bytes_);
+    nodes_ = std::move(o.nodes_);
+    ladder_ = o.ladder_;
+    charged_bytes_ = o.charged_bytes_;
+    o.ladder_ = nullptr;
+    o.charged_bytes_ = 0;
+    o.nodes_.clear();
+    return *this;
+}
+
+void ClockTree::set_memory_ladder(MemoryLadder* ladder) {
+    if (ladder_ == ladder) return;
+    if (ladder_ != nullptr && charged_bytes_ > 0) {
+        ladder_->release(charged_bytes_);
+        charged_bytes_ = 0;
+    }
+    ladder_ = ladder;
+    if (ladder_ != nullptr && !nodes_.empty()) {
+        const std::uint64_t bytes = kTreeNodeBytes * nodes_.size();
+        ladder_->charge_required(bytes, "clock tree node arena");
+        charged_bytes_ = bytes;
+    }
+}
 
 int ClockTree::add_node(NodeKind kind, geom::Pt pos) {
     // Fault probe standing in for arena exhaustion (vector growth
@@ -17,6 +81,10 @@ int ClockTree::add_node(NodeKind kind, geom::Pt pos) {
     if (util::fault_fire(util::FaultSite::tree_alloc_fail))
         util::throw_status(util::Status::resource_exhaustion(
             "clock tree: node arena allocation failed (injected)"));
+    if (ladder_ != nullptr) {
+        ladder_->charge_required(kTreeNodeBytes, "clock tree node arena");
+        charged_bytes_ += kTreeNodeBytes;
+    }
     TreeNode n;
     n.kind = kind;
     n.pos = pos;

@@ -9,6 +9,7 @@
 #ifndef CTSIM_CTS_CLOCK_TREE_H
 #define CTSIM_CTS_CLOCK_TREE_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "tech/buffer_lib.h"
 
 namespace ctsim::cts {
+
+class MemoryLadder;
 
 enum class NodeKind { sink, merge, steiner, buffer };
 
@@ -35,6 +38,26 @@ struct TreeNode {
 
 class ClockTree {
   public:
+    ClockTree() = default;
+    ~ClockTree();
+    /// Copies carry the nodes but never the budget binding: the
+    /// extracted-merge arenas are transient private copies whose
+    /// growth the shared tree's commit re-charges.
+    ClockTree(const ClockTree& o) : nodes_(o.nodes_) {}
+    ClockTree& operator=(const ClockTree& o);
+    /// Moves transfer the binding together with the charge.
+    ClockTree(ClockTree&& o) noexcept;
+    ClockTree& operator=(ClockTree&& o) noexcept;
+
+    /// Bind the node arena to a memory ladder (cts/memory_ladder.h):
+    /// every added node charges the budget and a refused required
+    /// charge throws typed resource_exhaustion once the ladder is
+    /// spent. Binding a non-empty tree charges the existing nodes;
+    /// null detaches and releases the charge. The ladder must outlive
+    /// the binding -- synthesize() detaches its run-local ladder from
+    /// the result tree before returning.
+    void set_memory_ladder(MemoryLadder* ladder);
+
     int add_sink(geom::Pt pos, double cap_ff, std::string name = {});
     int add_merge(geom::Pt pos);
     int add_steiner(geom::Pt pos);
@@ -87,6 +110,8 @@ class ClockTree {
   private:
     int add_node(NodeKind kind, geom::Pt pos);
     std::vector<TreeNode> nodes_;
+    MemoryLadder* ladder_{nullptr};
+    std::uint64_t charged_bytes_{0};
 };
 
 }  // namespace ctsim::cts

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "cts/maze_rows.h"
+#include "cts/memory_ladder.h"
 #include "cts/phase_profile.h"
 #include "delaylib/eval_cache.h"
 #include "util/fault_injection.h"
@@ -489,6 +490,13 @@ constexpr int kC2fFactor = 5;
 constexpr int kC2fMinDim = 20;
 constexpr int kC2fRadius = 3;
 
+/// Coarsest label grid the memory ladder may degrade a route to:
+/// below this the pitch gets so wide that feasible buffer runs (and
+/// with them route validity) start to disappear, so the walk stops
+/// here and the last charge goes through the required (typed-throw)
+/// path instead.
+constexpr int kGridCoarsenMinDim = 9;
+
 /// Per-thread routing scratch, reused across merges and grid levels.
 struct RouteScratch {
     SidePool pool1, pool2;
@@ -511,6 +519,60 @@ RouteScratch& route_scratch() {
     static thread_local RouteScratch s;
     return s;
 }
+
+/// Working-set bytes one grid cell pins across both sides' pools
+/// (stamp + est + label each) -- what a route charges its memory
+/// ladder per cell before labeling.
+constexpr std::uint64_t kScratchBytesPerCell =
+    2 * (sizeof(std::uint32_t) + sizeof(double) + sizeof(LabelData));
+
+/// Bytes the shared immutable delay rows pin (charged once per run).
+std::uint64_t delay_rows_bytes(const DelayRows& r) {
+    std::uint64_t b = r.run_limit.size() * sizeof(double);
+    for (const DelayRows::LoadRow& row : r.rows)
+        b += row.wire_delay.size() * sizeof(double) +
+             row.stage_delay.size() * sizeof(double) +
+             row.choice.size() * sizeof(std::int16_t);
+    return b;
+}
+
+/// lean_scratch rung: drop this thread's pooled grids so only the
+/// active route's labels stay resident (ensure() regrows on demand).
+void trim_route_scratch() { route_scratch() = RouteScratch{}; }
+
+/// One route's memory-ladder lease over its label grids: required
+/// bytes throw through the ladder when it is spent, optional bytes
+/// (the coarse-to-fine extras) refuse politely. Everything charged is
+/// released when the route ends -- the charge models the live working
+/// set -- and under the lean_scratch rung the physical pools are
+/// trimmed to match.
+class ScratchLease {
+  public:
+    explicit ScratchLease(MemoryLadder* ladder) : ladder_(ladder) {}
+    ~ScratchLease() {
+        if (ladder_ == nullptr) return;
+        if (bytes_ > 0) ladder_->release(bytes_);
+        if (ladder_->at_least(MemoryRung::lean_scratch)) trim_route_scratch();
+    }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+
+    void require(std::uint64_t bytes, const char* what) {
+        if (ladder_ == nullptr) return;
+        ladder_->charge_required(bytes, what);
+        bytes_ += bytes;
+    }
+    bool try_extra(std::uint64_t bytes) {
+        if (ladder_ == nullptr) return true;
+        if (!ladder_->try_charge(bytes)) return false;
+        bytes_ += bytes;
+        return true;
+    }
+
+  private:
+    MemoryLadder* const ladder_;
+    std::uint64_t bytes_{0};
+};
 
 /// Route one grid level. Returns false when no meet cell was labeled
 /// by both sides (possible on coarse grids whose pitch exceeds every
@@ -830,43 +892,99 @@ MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
     profile::ScopedPhase phase(profile::Phase::maze);
     profile::count_event(profile::Counter::maze_calls);
 
-    const geom::RoutingGrid grid = geom::RoutingGrid::for_net(
+    const geom::RoutingGrid nominal = geom::RoutingGrid::for_net(
         a.pos, b.pos, opt.grid_cells_per_dim, opt.grid_margin_um, opt.grid_max_pitch_um);
+    geom::RoutingGrid grid = nominal;
 
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
+    MemoryLadder* const ladder = opt.memory_ladder;
     const bool rows_on =
         opt.use_eval_cache && opt.maze_delay_rows && opt.eval_cache_quantum_um > 0.0;
     const DelayRows* rows = rows_on ? &delay_rows_for(ec) : nullptr;
+    // Under budget pressure the shared rows fall back to the
+    // EvalCache -- bit-identical values by the maze_rows.h contract,
+    // so the ladder rung changes no routing decision.
+    if (rows != nullptr && ladder != nullptr &&
+        !ladder->charge_shared_once(delay_rows_bytes(*rows)))
+        rows = nullptr;
 
     MazeResult out;
+
+    // The route's own label grid is non-negotiable -- but its
+    // RESOLUTION is not. Rung escalation alone frees nothing at the
+    // moment the biggest route asks for its grid (lease charges model
+    // the live working set, and that ask IS the peak), so a refusal
+    // here must reduce demand, not just record pressure: halve the
+    // grid per refusal -- each refusal also escalates one rung --
+    // down to kGridCoarsenMinDim, and only when the floor grid still
+    // does not fit does the charge go through the required path,
+    // which walks the remaining rungs and then raises the typed
+    // resource_exhaustion the degradation contract ends in.
+    ScratchLease lease(ladder);
+    while (!lease.try_extra(static_cast<std::uint64_t>(grid.cell_count()) *
+                            kScratchBytesPerCell)) {
+        if (std::min(grid.nx(), grid.ny()) / 2 < kGridCoarsenMinDim) {
+            lease.require(
+                static_cast<std::uint64_t>(grid.cell_count()) * kScratchBytesPerCell,
+                "maze label grid");
+            break;
+        }
+        grid = geom::RoutingGrid(grid.region(), grid.nx() / 2, grid.ny() / 2);
+        out.grid_coarsened = true;
+    }
+    if (out.grid_coarsened) profile::count_event(profile::Counter::grid_coarsenings);
 
     // Coarse-to-fine: route on a ~kC2fFactor-coarser grid over the
     // same region first, then refine at full resolution inside a
     // corridor around the coarse path. Falls back to the plain
-    // full-grid route when either pass fails (see maze.h).
-    const bool c2f = opt.maze_coarse_to_fine && opt.maze_early_exit &&
-                     std::min(grid.nx(), grid.ny()) >= kC2fMinDim;
+    // full-grid route when either pass fails (see maze.h). The
+    // drop_c2f ladder rung skips the attempt outright: the coarse
+    // grid and corridor stamps are pure extra memory.
+    bool c2f = opt.maze_coarse_to_fine && opt.maze_early_exit &&
+               std::min(grid.nx(), grid.ny()) >= kC2fMinDim &&
+               (ladder == nullptr || !ladder->at_least(MemoryRung::drop_c2f));
     if (c2f) {
-        profile::count_event(profile::Counter::c2f_coarse_routes);
         const geom::RoutingGrid coarse(grid.region(),
                                        (grid.nx() + kC2fFactor - 1) / kC2fFactor,
                                        (grid.ny() + kC2fFactor - 1) / kC2fFactor);
-        MazeResult cr;
-        if (route_on_grid(coarse, a, b, model, opt, ec, rows, nullptr, cr)) {
-            Corridor& cor = route_scratch().corridor;
-            cor.begin(grid.cell_count());
-            mark_trace_corridor(cor, grid, cr.side1.trace, kC2fRadius);
-            mark_trace_corridor(cor, grid, cr.side2.trace, kC2fRadius);
-            if (route_on_grid(grid, a, b, model, opt, ec, rows, &cor, out)) {
-                profile::count_event(profile::Counter::c2f_refined);
-                return out;
+        // Charging the extras may refuse (escalating the ladder to
+        // drop_c2f for the rest of the run); route full-grid then.
+        c2f = lease.try_extra(
+            static_cast<std::uint64_t>(coarse.cell_count()) * kScratchBytesPerCell +
+            static_cast<std::uint64_t>(grid.cell_count()) * sizeof(std::uint32_t));
+        if (c2f) {
+            profile::count_event(profile::Counter::c2f_coarse_routes);
+            MazeResult cr;
+            if (route_on_grid(coarse, a, b, model, opt, ec, rows, nullptr, cr)) {
+                Corridor& cor = route_scratch().corridor;
+                cor.begin(grid.cell_count());
+                mark_trace_corridor(cor, grid, cr.side1.trace, kC2fRadius);
+                mark_trace_corridor(cor, grid, cr.side2.trace, kC2fRadius);
+                if (route_on_grid(grid, a, b, model, opt, ec, rows, &cor, out)) {
+                    profile::count_event(profile::Counter::c2f_refined);
+                    return out;
+                }
             }
+            profile::count_event(profile::Counter::c2f_fallbacks);
+            out.c2f_fallback = true;
         }
-        profile::count_event(profile::Counter::c2f_fallbacks);
-        out.c2f_fallback = true;
     }
 
-    if (!route_on_grid(grid, a, b, model, opt, ec, rows, nullptr, out)) {
+    bool routed = route_on_grid(grid, a, b, model, opt, ec, rows, nullptr, out);
+    if (!routed && out.grid_coarsened) {
+        // A coarsened pitch can exceed every buffer's feasible run.
+        // Validity outranks the budget: charge the nominal grid
+        // through the required path (typed resource_exhaustion if the
+        // ladder really is spent) and route it once at full
+        // resolution.
+        lease.require(
+            static_cast<std::uint64_t>(nominal.cell_count()) * kScratchBytesPerCell,
+            "maze label grid");
+        out = MazeResult{};
+        out.grid_coarsened = true;
+        routed = route_on_grid(nominal, a, b, model, opt, ec, rows, nullptr, out);
+    }
+    if (!routed) {
         char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "maze: no feasible meet cell between (%.1f, %.1f) and (%.1f, %.1f) "

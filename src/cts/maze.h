@@ -134,6 +134,12 @@ struct MazeResult {
     /// incumbent meet: still a valid routed merge, but the frontier
     /// was not exhausted so the meet may be off-optimum.
     bool degraded{false};
+    /// The memory ladder refused the full-resolution label grid, so
+    /// the route ran on a coarsened grid (fewer, larger cells --
+    /// fewer candidate buffer locations). Still a valid route; the
+    /// quality loss is the degradation the ladder trades for fitting
+    /// under the budget cap.
+    bool grid_coarsened{false};
 };
 
 /// Route two endpoints toward a minimum-|delay difference| meet cell.

@@ -111,6 +111,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     const MazeResult mz = maze_route(ea, eb, model, opt);
     rec.c2f_fallback = mz.c2f_fallback;
     rec.degraded_route = mz.degraded;
+    rec.grid_coarsened = mz.grid_coarsened;
 
     const std::vector<double> cum1 = trace_cum(mz.side1);
     const std::vector<double> cum2 = trace_cum(mz.side2);

@@ -30,6 +30,8 @@ struct MergeRecord {
     /// synthesizer aggregates both into SynthesisResult::diagnostics.
     bool c2f_fallback{false};
     bool degraded_route{false};
+    /// The memory ladder coarsened this route's label grid.
+    bool grid_coarsened{false};
 };
 
 /// Merge the subtrees rooted at `a` and `b`. When `engine` is given

@@ -4,7 +4,34 @@
 
 #include "util/cancel.h"
 
+namespace ctsim::util {
+class MemoryBudget;
+}  // namespace ctsim::util
+
 namespace ctsim::cts {
+
+class MemoryLadder;
+class Checkpointer;
+
+/// Phase boundary a checkpoint snapshot describes (cts/checkpoint.h).
+/// Lives here (not checkpoint.h) so SynthesisDiagnostics can record
+/// the resumed-from phase without an include cycle.
+enum class CheckpointPhase : int {
+    none = 0,          ///< no snapshot / fresh run
+    post_merge = 1,    ///< bottom-up merging finished
+    post_refine = 2,   ///< skew refinement finished
+    reclaim_sweep = 3, ///< mid-reclaim, at a verified sweep boundary
+};
+
+inline const char* checkpoint_phase_name(CheckpointPhase p) {
+    switch (p) {
+        case CheckpointPhase::none: return "none";
+        case CheckpointPhase::post_merge: return "post_merge";
+        case CheckpointPhase::post_refine: return "post_refine";
+        case CheckpointPhase::reclaim_sweep: return "reclaim_sweep";
+    }
+    return "unknown";
+}
 
 enum class HStructureMode {
     off,          ///< the original flow
@@ -201,6 +228,30 @@ struct SynthesisOptions {
     /// deadline_ms are set the token also carries the deadline. The
     /// token must outlive the synthesize() call.
     util::CancelToken* cancel{nullptr};
+    /// Soft memory cap for the whole synthesize() call [MB]; <= 0
+    /// disables. Under pressure the pipeline DEGRADES along the
+    /// documented ladder (cts/memory_ladder.h, docs/robustness.md):
+    /// drop coarse-to-fine corridor grids, shrink the pooled label
+    /// grids to one transient grid per thread, fall back to serial
+    /// execution -- and only then raises a typed resource_exhaustion,
+    /// with the deepest rung recorded in
+    /// SynthesisResult::diagnostics.
+    double memory_budget_mb{0.0};
+    /// External budget (e.g. a per-request child of a server-wide
+    /// cap); overrides memory_budget_mb when set. Must outlive the
+    /// synthesize() call. May be unlimited (limit 0) purely to
+    /// measure peak usage.
+    util::MemoryBudget* memory_budget{nullptr};
+    /// Run-local ladder handle, installed by synthesize() itself --
+    /// downstream stages read it like `cancel`. Callers leave it null.
+    MemoryLadder* memory_ladder{nullptr};
+    /// Crash-safe checkpointing (cts/checkpoint.h): when set,
+    /// synthesize() publishes a checksummed snapshot at each phase
+    /// boundary (post-merge, post-refine, per reclaim sweep) and, on
+    /// entry, resumes from a matching snapshot by skipping the
+    /// completed phases -- producing a tree bit-for-bit identical to
+    /// the uninterrupted run. Must outlive the call.
+    Checkpointer* checkpoint{nullptr};
 
     double assumed_slew() const {
         return assumed_input_slew_ps > 0.0 ? assumed_input_slew_ps : slew_target_ps;

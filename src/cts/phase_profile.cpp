@@ -56,6 +56,7 @@ Snapshot snapshot() {
     s.c2f_fallbacks = cnt(Counter::c2f_fallbacks);
     s.deadline_trips = cnt(Counter::deadline_trips);
     s.maze_degraded = cnt(Counter::maze_degraded);
+    s.grid_coarsenings = cnt(Counter::grid_coarsenings);
     s.dag_tasks = cnt(Counter::dag_tasks);
     s.dag_steals = cnt(Counter::dag_steals);
     return s;

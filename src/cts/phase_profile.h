@@ -38,6 +38,7 @@ enum class Counter : int {
     c2f_fallbacks,        ///< full-grid fallbacks (coarse or corridor failed)
     deadline_trips,       ///< cancel/deadline trips observed by the pipeline
     maze_degraded,        ///< maze expansions closed early on a tripped token
+    grid_coarsenings,     ///< routes whose label grid the memory ladder coarsened
     dag_tasks,            ///< DAG-executor nodes committed
     dag_steals,           ///< DAG-executor cross-worker steals
     count_,
@@ -56,6 +57,7 @@ struct Snapshot {
     std::uint64_t c2f_fallbacks{0};
     std::uint64_t deadline_trips{0};
     std::uint64_t maze_degraded{0};
+    std::uint64_t grid_coarsenings{0};
     double exec_idle_s{0.0};
     double barrier_s{0.0};
     std::uint64_t dag_tasks{0};

@@ -7,10 +7,13 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "cts/checkpoint.h"
 #include "cts/incremental_timing.h"
+#include "cts/memory_ladder.h"
 #include "cts/parallel_merge.h"
 #include "cts/phase_profile.h"
 #include "util/dag_executor.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -66,24 +69,65 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     if (!opt.cancel && opt.deadline_ms > 0.0) opt.cancel = &deadline_token;
     if (opt.cancel && opt.deadline_ms > 0.0) opt.cancel->set_deadline_ms(opt.deadline_ms);
 
+    // Memory plumbing, mirroring the deadline: a bare memory_budget_mb
+    // gets a run-local budget; an external budget (possibly unlimited,
+    // for peak measurement) overrides it. The ladder is run-local
+    // either way and all downstream stages read opt.memory_ladder.
+    // Declared BEFORE the result so the tree's arena binding never
+    // outlives the ladder inside this function -- and detached from
+    // the result tree before every return, since the result itself
+    // does outlive it.
+    util::MemoryBudget local_budget(
+        opt.memory_budget_mb > 0.0
+            ? static_cast<std::uint64_t>(opt.memory_budget_mb * 1024.0 * 1024.0)
+            : 0);
+    util::MemoryBudget* const budget = opt.memory_budget != nullptr ? opt.memory_budget
+                                       : opt.memory_budget_mb > 0.0 ? &local_budget
+                                                                    : nullptr;
+    MemoryLadder ladder(budget);
+    if (budget != nullptr) opt.memory_ladder = &ladder;
+
     SynthesisResult res;
     SynthesisDiagnostics& diag = res.diagnostics;
     res.source_buffer = resolve_driver_type(opt.source_buffer, model);
+    if (opt.memory_ladder != nullptr) res.tree.set_memory_ladder(opt.memory_ladder);
+
+    const auto finish_robustness = [&] {
+        if (budget != nullptr) {
+            diag.memory_rung = ladder.rung();
+            diag.memory_peak_bytes = budget->peak();
+        }
+        res.tree.set_memory_ladder(nullptr);
+    };
+
+    // Checkpoint/resume (cts/checkpoint.h): a valid snapshot of the
+    // SAME sinks and configuration lets the run skip its completed
+    // phases; everything it re-executes is deterministic, so the
+    // final tree is node-for-node the uninterrupted run's.
+    Checkpointer::Loaded resumed;
+    bool have_resume = false;
+    if (opt.checkpoint != nullptr) {
+        opt.checkpoint->bind(sinks, opt);
+        have_resume = opt.checkpoint->load(resumed);
+    }
 
     std::vector<int> roots;
     std::unordered_map<int, RootTiming> timing;
     std::unordered_map<int, MergeRecord> records;
-    roots.reserve(sinks.size());
-    for (const SinkSpec& s : sinks) {
-        const int id = res.tree.add_sink(s.pos, s.cap_ff, s.name);
-        roots.push_back(id);
-        timing[id] = RootTiming{0.0, 0.0};
-    }
+    if (!have_resume) {
+        roots.reserve(sinks.size());
+        for (const SinkSpec& s : sinks) {
+            const int id = res.tree.add_sink(s.pos, s.cap_ff, s.name);
+            roots.push_back(id);
+            timing[id] = RootTiming{0.0, 0.0};
+        }
 
-    if (roots.size() == 1) {
-        res.root = roots[0];
-        res.root_timing = timing[roots[0]];
-        return res;
+        if (roots.size() == 1) {
+            res.root = roots[0];
+            res.root_timing = timing[roots[0]];
+            finish_robustness();
+            return res;
+        }
     }
 
     std::mt19937 rng(opt.rng_seed);
@@ -105,9 +149,13 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     // extracted arenas (parallel_merge.cpp) and for the single-pair
     // levels below -- and purity of the cached values keeps every path
     // bit-for-bit identical.
+    // (A resumed run skips the merge loop entirely, so it never
+    // creates the persistent engine: the post-pass block builds a
+    // fresh one on the adopted tree, and engine purity makes its
+    // cached values bit-identical to the long-lived engine's.)
     const bool engine_on = incremental_timing_enabled(opt);
     std::unique_ptr<IncrementalTiming> engine;
-    if (engine_on && !pool)
+    if (engine_on && !pool && !have_resume)
         engine = std::make_unique<IncrementalTiming>(res.tree, model,
                                                      synthesis_timing_options(opt));
 
@@ -119,9 +167,17 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             ++diag.c2f_fallbacks;
         }
         if (rec.degraded_route) ++diag.degraded_routes;
+        if (rec.grid_coarsened) ++diag.grid_coarsened_routes;
     };
 
     while (roots.size() > 1) {
+        // Memory ladder, serial rung: retire the pool at the level
+        // boundary. The workers' pooled label grids and scratch die
+        // with their threads, and the remaining levels (plus the
+        // post-passes, which read the same pointer) run serially.
+        if (pool != nullptr && opt.memory_ladder != nullptr &&
+            opt.memory_ladder->at_least(MemoryRung::serial))
+            pool.reset();
         std::vector<LevelNode> level;
         level.reserve(roots.size());
         for (int r : roots)
@@ -238,8 +294,27 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             throw std::runtime_error("synthesize: level budget exceeded (non-terminating?)");
     }
 
-    res.root = roots[0];
-    res.root_timing = timing.at(res.root);
+    if (!have_resume) {
+        res.root = roots[0];
+        res.root_timing = timing.at(res.root);
+    } else {
+        // Adopt the snapshot: the tree, the merge-phase outputs and
+        // the diagnostics accumulated before the cut. The move drops
+        // the fresh tree's ladder binding, so re-bind afterwards
+        // (charging the adopted nodes).
+        res.tree = std::move(resumed.tree);
+        if (opt.memory_ladder != nullptr) res.tree.set_memory_ladder(opt.memory_ladder);
+        res.root = resumed.base.root;
+        res.source_buffer = resumed.base.source_buffer;
+        res.levels = resumed.base.levels;
+        res.hstats = resumed.base.hstats;
+        res.root_timing = resumed.base.root_timing;
+        diag = resumed.base.diag;
+        diag.resumed_from = resumed.phase;
+        if (static_cast<int>(resumed.phase) >=
+            static_cast<int>(CheckpointPhase::post_refine))
+            res.refine = resumed.base.refine;
+    }
 
     // Degradation ladder (docs/robustness.md): a trip during merging
     // still finishes every merge of the committed prefix -- degraded
@@ -247,13 +322,36 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     // single, fully-timed root -- then skips both post-passes. A trip
     // inside a post-pass stops it at its own safe boundary (between
     // refine merges; reclaim rolls the open sweep back wholesale).
-    const bool tripped_before_passes = opt.cancel && opt.cancel->cancelled();
+    // A resumed run did no merging, so a pre-tripped token degrades
+    // it inside the post-passes instead.
+    const bool tripped_before_passes =
+        !have_resume && opt.cancel && opt.cancel->cancelled();
     if (tripped_before_passes) {
         diag.deadline_hit = true;
         diag.degraded_at = DegradeStage::merging;
         diag.refine_skipped = opt.skew_refine;
         diag.reclaim_skipped = opt.wire_reclaim;
         profile::count_event(profile::Counter::deadline_trips);
+    }
+
+    // Post-merge snapshot -- only when the merge phase completed
+    // NOMINALLY: a deadline-degraded prefix is a valid tree but not
+    // the one the uninterrupted run would produce, so it must never
+    // seed a resume. Resumed runs skip the save (the file already
+    // holds this state or a later phase) but re-install the base so
+    // reclaim's sweep snapshots keep publishing the full state.
+    if (opt.checkpoint != nullptr && !tripped_before_passes) {
+        CheckpointBase base;
+        base.root = res.root;
+        base.source_buffer = res.source_buffer;
+        base.levels = res.levels;
+        base.hstats = res.hstats;
+        base.root_timing = res.root_timing;
+        base.refine = res.refine;
+        base.diag = diag;
+        opt.checkpoint->set_base(base);
+        if (!have_resume)
+            (void)opt.checkpoint->save(CheckpointPhase::post_merge, res.tree);
     }
 
     // Top-down post-passes on the finished tree: skew refinement
@@ -279,7 +377,13 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             eng = local.get();
         }
         util::ThreadPool* pass_pool = opt.level_barrier ? nullptr : pool.get();
-        if (opt.skew_refine)
+        // A snapshot at or past post_refine already holds the refine
+        // pass's output (adopted above), so the resumed run skips the
+        // pass itself.
+        const bool resumed_past_refine =
+            have_resume && static_cast<int>(resumed.phase) >=
+                               static_cast<int>(CheckpointPhase::post_refine);
+        if (opt.skew_refine && !resumed_past_refine)
             res.refine = refine_skew(res.tree, res.root, model, opt, *eng, pass_pool);
         if (res.refine.cancelled) {
             diag.deadline_hit = true;
@@ -288,7 +392,29 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
             diag.reclaim_skipped = opt.wire_reclaim;
             profile::count_event(profile::Counter::deadline_trips);
         } else if (opt.wire_reclaim) {
-            res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng, pass_pool);
+            // The refine pass completed nominally (or was adopted):
+            // refresh the checkpoint base with its stats and publish
+            // the post_refine boundary, unless the snapshot already
+            // sits there or deeper.
+            if (opt.checkpoint != nullptr) {
+                CheckpointBase base;
+                base.root = res.root;
+                base.source_buffer = res.source_buffer;
+                base.levels = res.levels;
+                base.hstats = res.hstats;
+                base.root_timing = res.root_timing;
+                base.refine = res.refine;
+                base.diag = diag;
+                opt.checkpoint->set_base(base);
+                if (!resumed_past_refine)
+                    (void)opt.checkpoint->save(CheckpointPhase::post_refine, res.tree);
+            }
+            const ReclaimCheckpoint* reclaim_resume =
+                have_resume && resumed.phase == CheckpointPhase::reclaim_sweep
+                    ? &resumed.reclaim
+                    : nullptr;
+            res.reclaim = reclaim_wire(res.tree, res.root, model, opt, *eng, pass_pool,
+                                       reclaim_resume);
             if (res.reclaim.cancelled) {
                 diag.deadline_hit = true;
                 diag.degraded_at = DegradeStage::reclaim;
@@ -302,6 +428,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     res.tree.validate_subtree(res.root);
     res.wire_length_um = res.tree.wire_length_below(res.root);
     res.buffer_count = res.tree.buffer_count_below(res.root);
+    finish_robustness();
     return res;
 }
 

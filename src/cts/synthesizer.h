@@ -16,11 +16,13 @@
 #ifndef CTSIM_CTS_SYNTHESIZER_H
 #define CTSIM_CTS_SYNTHESIZER_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cts/clock_tree.h"
 #include "cts/hstructure.h"
+#include "cts/memory_ladder.h"
 #include "cts/merge_routing.h"
 #include "cts/options.h"
 #include "cts/skew_refine.h"
@@ -70,6 +72,24 @@ struct SynthesisDiagnostics {
     /// merge node so a report can point at the instance region.
     int c2f_fallbacks{0};
     int first_c2f_fallback_merge{-1};
+    /// Merges whose maze label grid the memory ladder coarsened
+    /// (fewer candidate buffer locations -- the route-level quality
+    /// trade the budget cap buys its bytes with).
+    int grid_coarsened_routes{0};
+    /// Deepest memory-degradation rung the run reached
+    /// (cts/memory_ladder.h; none when no budget was installed or
+    /// pressure never materialized). Like the deadline cut, a rung
+    /// short of `exhausted` still yields a VALID fully-timed tree --
+    /// the ladder trades routing quality and parallelism, never
+    /// validity.
+    MemoryRung memory_rung{MemoryRung::none};
+    /// High-water budget usage [bytes]; 0 when no budget was
+    /// installed. An unlimited budget (limit 0) still measures this,
+    /// which is how the budget sweep finds its baseline peak.
+    std::uint64_t memory_peak_bytes{0};
+    /// Checkpoint phase this run resumed from (none = fresh run);
+    /// the completed phases were skipped wholesale.
+    CheckpointPhase resumed_from{CheckpointPhase::none};
 };
 
 struct SynthesisResult {

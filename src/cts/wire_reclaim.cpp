@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cts/balance.h"
+#include "cts/checkpoint.h"
 #include "cts/incremental_timing.h"
 #include "cts/maze.h"
 #include "cts/phase_profile.h"
@@ -506,7 +507,7 @@ SweepCounts run_sweep(ClockTree& tree, const std::vector<std::pair<int, int>>& m
 
 WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayModel& model,
                               const SynthesisOptions& opt, IncrementalTiming& engine,
-                              util::ThreadPool* pool) {
+                              util::ThreadPool* pool, const ReclaimCheckpoint* resume) {
     profile::ScopedPhase phase(profile::Phase::reclaim);
     const auto wall0 = std::chrono::steady_clock::now();
     WireReclaimStats stats;
@@ -553,24 +554,45 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
     }
 
     TimingReport rep = engine.report(root);
-    stats.initial_skew_ps = rep.skew_ps();
-    stats.final_skew_ps = rep.skew_ps();
-    stats.initial_wirelength_um = tree.wire_length_below(root);
-    stats.final_wirelength_um = stats.initial_wirelength_um;
+    double skew_budget = 0.0;
+    double slew_budget = 0.0;
+    int batch = 0;
+    int first_sweep = 0;
+    if (resume != nullptr) {
+        // Continue a cut pass at its next sweep boundary: the
+        // accumulated stats, the loop cursor and the (possibly
+        // halved) batch grant come from the snapshot -- and so do the
+        // WHOLE-pass budgets, which were frozen against the PRE-pass
+        // engine report that the partially reclaimed tree can no
+        // longer reproduce. `rep` itself needs no persistence: the
+        // engine is a pure function of the tree, so the recomputed
+        // report equals the cut run's last verified one bit-for-bit.
+        stats = resume->stats;
+        stats.cancelled = false;
+        stats.wall_s = 0.0;
+        skew_budget = resume->skew_budget_ps;
+        slew_budget = resume->slew_budget_ps;
+        batch = resume->batch;
+        first_sweep = resume->next_sweep;
+    } else {
+        stats.initial_skew_ps = rep.skew_ps();
+        stats.final_skew_ps = rep.skew_ps();
+        stats.initial_wirelength_um = tree.wire_length_below(root);
+        stats.final_wirelength_um = stats.initial_wirelength_um;
+        // The WHOLE pass's verified budgets: skew against the
+        // pre-pass engine skew plus the tolerance, worst component
+        // slew against the pre-pass worst (or the synthesis target,
+        // whichever is larger -- trims only shorten wires, but a
+        // ballast removal rehangs a run on a heavier load).
+        skew_budget = rep.skew_ps() + std::max(0.0, opt.wire_reclaim_skew_tol_ps);
+        slew_budget = std::max(rep.worst_slew_ps, opt.slew_target_ps) + 0.5;
+        batch = std::max(1, opt.wire_reclaim_batch);
+    }
     if (merges.empty()) return stats;
 
-    // The WHOLE pass's verified budgets: skew against the pre-pass
-    // engine skew plus the tolerance, worst component slew against
-    // the pre-pass worst (or the synthesis target, whichever is
-    // larger -- trims only shorten wires, but a ballast removal
-    // rehangs a run on a heavier load).
-    const double skew_budget = rep.skew_ps() + std::max(0.0, opt.wire_reclaim_skew_tol_ps);
-    const double slew_budget = std::max(rep.worst_slew_ps, opt.slew_target_ps) + 0.5;
-
     ArrivalWindows win;
-    int batch = std::max(1, opt.wire_reclaim_batch);
     const int passes = std::max(1, opt.wire_reclaim_passes);
-    for (int p = 0; p < passes && batch > 0; ++p) {
+    for (int p = first_sweep; p < passes && batch > 0; ++p) {
         // Cooperative cancellation at the sweep boundary: the tree is
         // in its last verified state here, so stopping is free.
         if (opt.cancel && opt.cancel->checked()) {
@@ -617,6 +639,19 @@ WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayMo
             stats.snake_removals += counts.removals;
             rep = std::move(ver);
             stats.final_skew_ps = rep.skew_ps();
+        }
+        // Sweep-boundary snapshot (cts/checkpoint.h): accepted or
+        // rolled back alike, the tree is in a VERIFIED state here --
+        // exactly what a resumed pass must continue from. Publish
+        // failure is non-fatal (the pass keeps its in-memory state).
+        if (opt.checkpoint != nullptr) {
+            ReclaimCheckpoint ck;
+            ck.stats = stats;
+            ck.next_sweep = p + 1;
+            ck.batch = batch;
+            ck.skew_budget_ps = skew_budget;
+            ck.slew_budget_ps = slew_budget;
+            (void)opt.checkpoint->save(CheckpointPhase::reclaim_sweep, tree, &ck);
         }
     }
 

@@ -109,6 +109,23 @@ struct WireReclaimStats {
     double wall_s{0.0};
 };
 
+/// Everything a cut reclaim pass needs to continue at the NEXT sweep
+/// boundary and still produce the uninterrupted run's tree
+/// bit-for-bit: the accumulated stats, the loop cursor, the (possibly
+/// halved) batch grant, and the WHOLE-pass budgets -- those were
+/// frozen against the PRE-pass engine report, which the resumed
+/// (already partially reclaimed) tree can no longer reproduce. The
+/// last verified TimingReport is deliberately absent: the engine is a
+/// pure function of the tree, so the resumed pass recomputes it
+/// bit-identically. Persisted per verified sweep by cts/checkpoint.h.
+struct ReclaimCheckpoint {
+    WireReclaimStats stats;     ///< accumulated through the last sweep
+    int next_sweep{0};          ///< loop index the resumed pass starts at
+    int batch{0};               ///< current grant (after halvings)
+    double skew_budget_ps{0.0}; ///< pre-pass skew + tolerance
+    double slew_budget_ps{0.0}; ///< pre-pass worst slew floor + margin
+};
+
 /// Reclaim balance wire from the finished tree rooted at `root`.
 /// `engine` must be an IncrementalTiming attached to `tree` and
 /// consistent with it (all prior edits notified); the pass keeps it
@@ -122,9 +139,17 @@ struct WireReclaimStats {
 /// reclaim only through balance fixes. A non-null `pool` (wider than
 /// one thread) scans and plans merges concurrently over the DAG
 /// executor; the result is bit-for-bit identical either way.
+///
+/// With SynthesisOptions::checkpoint set the pass publishes a
+/// ReclaimCheckpoint snapshot after every sweep (the tree is in a
+/// verified state at each boundary, accepted or rolled back alike); a
+/// non-null `resume` -- loaded from such a snapshot of the SAME input
+/// and options -- makes the pass skip the completed sweeps and
+/// continue where the cut run stopped.
 WireReclaimStats reclaim_wire(ClockTree& tree, int root, const delaylib::DelayModel& model,
                               const SynthesisOptions& opt, IncrementalTiming& engine,
-                              util::ThreadPool* pool = nullptr);
+                              util::ThreadPool* pool = nullptr,
+                              const ReclaimCheckpoint* resume = nullptr);
 
 }  // namespace ctsim::cts
 

@@ -11,7 +11,9 @@
 
 #include <unistd.h>
 
+#include "util/atomic_file.h"
 #include "util/fault_injection.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace ctsim::delaylib {
@@ -268,46 +270,21 @@ std::string FittedLibrary::resolve_cache_path(const std::string& path) {
 }
 
 bool FittedLibrary::save_cache_atomic(const std::string& where) const {
-    // Write-to-temp + rename: concurrent characterizers each publish
-    // a complete file, so a reader never observes a torn cache (the
-    // pre-PR-6 plain ofstream write had exactly that window).
-    namespace fs = std::filesystem;
-    const auto slash = where.find_last_of('/');
-    const std::string dir = slash == std::string::npos ? "" : where.substr(0, slash);
-    std::error_code ec;  // best effort throughout: a failed save only
-                         // costs the next process a re-characterization
-    if (!dir.empty()) fs::create_directories(dir, ec);
-
-    const std::string temp = where + ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream out(temp);
-        if (!out) return false;
-        save(out);
-        out.flush();
-        if (!out) {
-            fs::remove(temp, ec);
-            return false;
-        }
-    }
-    if (util::fault_fire(util::FaultSite::cache_write_fail)) {
-        fs::remove(temp, ec);
-        return false;
-    }
-    fs::rename(temp, where, ec);
-    if (ec) {
-        // The cache dir may have been deleted between the temp write
-        // and the rename (CTSIM_CACHE_DIR on tmpfs cleaners); recreate
-        // it and retry once before giving up.
-        ec.clear();
-        if (!dir.empty()) fs::create_directories(dir, ec);
-        ec.clear();
-        fs::rename(temp, where, ec);
-        if (ec) {
-            fs::remove(temp, ec);
-            return false;
-        }
-    }
-    return true;
+    // Write-to-temp + rename via the shared publisher: concurrent
+    // characterizers each publish a complete file, so a reader never
+    // observes a torn cache (the pre-PR-6 plain ofstream write had
+    // exactly that window), and the pid-suffixed temp is unlinked on
+    // every failure branch. A transient publish failure (the injector
+    // models it as cache_write_fail) is retried under a bounded
+    // deterministic backoff; a persistent one only costs the next
+    // process a re-characterization.
+    std::ostringstream body;
+    save(body);
+    const std::string payload = body.str();
+    const util::Status st = util::retry_status(util::RetryPolicy{}, [&] {
+        return util::write_file_atomic(where, payload, util::FaultSite::cache_write_fail);
+    });
+    return st.ok();
 }
 
 std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(

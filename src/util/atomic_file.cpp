@@ -1,0 +1,58 @@
+#include "util/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace ctsim::util {
+
+Status write_file_atomic(const std::string& path, const std::string& contents,
+                         FaultSite failure_probe) {
+    namespace fs = std::filesystem;
+    const auto slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "" : path.substr(0, slash);
+    std::error_code ec;  // best effort: cleanup failures must not throw
+    if (!dir.empty()) fs::create_directories(dir, ec);
+
+    const std::string temp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(temp);
+        if (!out)
+            return Status::resource_exhaustion("atomic write: cannot open temp for " + path);
+        out << contents;
+        out.flush();
+        if (!out) {
+            ec.clear();
+            fs::remove(temp, ec);
+            return Status::resource_exhaustion("atomic write: short write for " + path);
+        }
+    }
+    if (failure_probe != FaultSite::count_ && fault_fire(failure_probe)) {
+        ec.clear();
+        fs::remove(temp, ec);
+        return Status::resource_exhaustion("atomic write: publish failed (injected) for " +
+                                           path);
+    }
+    ec.clear();
+    fs::rename(temp, path, ec);
+    if (ec) {
+        // The target dir may have been deleted between the temp write
+        // and the rename (cache dirs on tmpfs cleaners); recreate it
+        // and retry once before giving up.
+        ec.clear();
+        if (!dir.empty()) fs::create_directories(dir, ec);
+        ec.clear();
+        fs::rename(temp, path, ec);
+        if (ec) {
+            const std::string why = ec.message();
+            ec.clear();
+            fs::remove(temp, ec);
+            return Status::resource_exhaustion("atomic write: rename failed for " + path +
+                                               ": " + why);
+        }
+    }
+    return Status{};
+}
+
+}  // namespace ctsim::util

@@ -1,0 +1,32 @@
+// Atomic file publication: write-to-temp + rename, shared by the
+// delay-library cache and the synthesis checkpoints.
+//
+// Readers never observe a torn file: the payload lands in a
+// pid-suffixed temp next to the target and is renamed into place in
+// one step. The temp is unlinked on EVERY failure branch -- a fault
+// sweep over the publish sites must leave zero stray files behind
+// (cts_fault_injection_test asserts exactly that).
+//
+// Failures return a structured util::Status instead of throwing:
+// losing a cache or checkpoint write only costs the next run a
+// re-characterization / re-synthesis, so callers degrade (optionally
+// via util::retry_status for transient errors) rather than abort.
+#ifndef CTSIM_UTIL_ATOMIC_FILE_H
+#define CTSIM_UTIL_ATOMIC_FILE_H
+
+#include <string>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace ctsim::util {
+
+/// Publish `contents` at `path` atomically. `failure_probe` names the
+/// fault-injection site probed between the temp write and the rename
+/// (the torn-publish window); FaultSite::count_ = no probe.
+Status write_file_atomic(const std::string& path, const std::string& contents,
+                         FaultSite failure_probe = FaultSite::count_);
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_ATOMIC_FILE_H

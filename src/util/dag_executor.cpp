@@ -6,6 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace ctsim::util {
 
 namespace {
@@ -34,6 +37,13 @@ void DagExecutor::set_test_fuzz(unsigned seed) {
 
 int DagExecutor::add_node(std::function<void()> run, std::function<void()> commit) {
     const int rank = static_cast<int>(nodes_.size());
+    // Fault probe standing in for task-arena exhaustion (node vector
+    // growth failure while the graph is being built): surfaces to the
+    // caller as a structured resource_exhaustion before execute().
+    if (fault_fire(FaultSite::dag_task_alloc_fail))
+        throw_status(Status::resource_exhaustion(
+            "dag executor: task allocation failed (injected) rank=" +
+            std::to_string(rank)));
     Node n;
     n.run = std::move(run);
     n.commit = std::move(commit);
@@ -164,10 +174,23 @@ void DagExecutor::advance_lane(std::unique_lock<std::mutex>& lk, int wid,
             frozen_ = true;
             break;
         }
+        // Uncounted cancellation poll INSIDE the lane: without it a
+        // 1-wide (or lane-saturated) execution would drain the whole
+        // run_done backlog after a trip, because only idle workers
+        // poll. This bounds cancellation latency to one commit body
+        // anywhere in the pipeline; counted polls stay the pass's own.
+        if (!stop_ && cancel_ != nullptr && cancel_->cancelled()) {
+            stop_ = true;
+            cv_.notify_all();
+        }
         if (stop_) break;
         if (nodes_[rank].commit) {
             lk.unlock();
             try {
+                if (fault_fire(FaultSite::dag_commit_fail))
+                    throw_status(Status::internal(
+                        "dag executor: commit body failed (injected) rank=" +
+                        std::to_string(rank)));
                 nodes_[rank].commit();
             } catch (...) {
                 lk.lock();
@@ -230,6 +253,10 @@ void DagExecutor::worker_loop(int wid) {
         bool failed = false;
         if (nodes_[node].run) {
             try {
+                if (fault_fire(FaultSite::dag_run_fail))
+                    throw_status(Status::internal(
+                        "dag executor: run body failed (injected) rank=" +
+                        std::to_string(node)));
                 nodes_[node].run();
             } catch (...) {
                 failed = true;

@@ -45,7 +45,18 @@
 // commit lane, leaving a consistent committed prefix (a contiguous
 // rank range starting at 0). request_stop() does the same from inside
 // a commit callback -- the hook cooperative passes use to keep their
-// own counted cancellation polls in deterministic rank order.
+// own counted cancellation polls in deterministic rank order. Latency
+// is bounded: the token is polled (uncounted) both in the idle/steal
+// path and between commits inside the lane, so after a trip at most
+// one in-flight run per worker and one commit body complete.
+//
+// Fault injection (docs/robustness.md): dag_task_alloc_fail probes in
+// add_node (structured resource_exhaustion before execute()),
+// dag_run_fail / dag_commit_fail probe inside the run and commit
+// bodies and carry the failing rank in the error message -- the
+// stress sweep (tests/util_dag_fault_test.cpp) crosses them with
+// seeds and schedule fuzz to prove lowest-rank-wins and the exact
+// committed-prefix guarantee under any steal order.
 #ifndef CTSIM_UTIL_DAG_EXECUTOR_H
 #define CTSIM_UTIL_DAG_EXECUTOR_H
 

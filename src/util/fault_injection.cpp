@@ -9,6 +9,10 @@ const char* fault_site_name(FaultSite s) {
         case FaultSite::cache_write_fail: return "cache_write_fail";
         case FaultSite::tree_alloc_fail: return "tree_alloc_fail";
         case FaultSite::engine_notify_conservative: return "engine_notify_conservative";
+        case FaultSite::checkpoint_publish_fail: return "checkpoint_publish_fail";
+        case FaultSite::dag_task_alloc_fail: return "dag_task_alloc_fail";
+        case FaultSite::dag_run_fail: return "dag_run_fail";
+        case FaultSite::dag_commit_fail: return "dag_commit_fail";
         case FaultSite::count_: break;
     }
     return "unknown";

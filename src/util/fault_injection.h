@@ -33,6 +33,10 @@ enum class FaultSite : int {
     cache_write_fail,           ///< atomic cache save fails before rename
     tree_alloc_fail,            ///< ClockTree::add_node throws resource_exhaustion
     engine_notify_conservative, ///< wire_changed degrades to subtree_replaced
+    checkpoint_publish_fail,    ///< checkpoint atomic publish fails before rename
+    dag_task_alloc_fail,        ///< DagExecutor::add_node throws resource_exhaustion
+    dag_run_fail,               ///< a DAG run body throws (rank in the message)
+    dag_commit_fail,            ///< a DAG commit body throws (rank in the message)
     count_,
 };
 inline constexpr int kFaultSiteCount = static_cast<int>(FaultSite::count_);

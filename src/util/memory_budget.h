@@ -1,0 +1,86 @@
+// Hierarchical, thread-safe byte accounting for long-lived services.
+//
+// A MemoryBudget is a soft cap the big allocators cooperate with: the
+// clock-tree node arena, the pooled maze label grids, the delay rows
+// and per-request scratch all try_reserve() before growing and
+// release() when they shrink or die. Reservations are advisory -- the
+// budget never allocates or frees anything itself -- but a daemon
+// serving many concurrent requests can hand each request a child
+// sub-budget and bound the whole process with one parent cap.
+//
+// try_reserve walks the parent chain root-ward, reserving at every
+// level; if any ancestor refuses, the partial reservations are rolled
+// back and the call fails atomically (the caller sees all-or-nothing).
+// A limit of 0 means unlimited at that level (the chain above still
+// applies). peak() is a high-water mark for reports and tests.
+//
+// What a consumer DOES on a refused reservation is its own contract:
+// the synthesis pipeline degrades along a documented ladder
+// (cts/memory_ladder.h, docs/robustness.md) instead of dying.
+#ifndef CTSIM_UTIL_MEMORY_BUDGET_H
+#define CTSIM_UTIL_MEMORY_BUDGET_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace ctsim::util {
+
+class MemoryBudget {
+  public:
+    /// `limit_bytes` 0 = unlimited at this level; `parent` may be
+    /// null. The parent must outlive the child.
+    explicit MemoryBudget(std::uint64_t limit_bytes = 0, MemoryBudget* parent = nullptr)
+        : limit_(limit_bytes), parent_(parent) {}
+
+    MemoryBudget(const MemoryBudget&) = delete;
+    MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+    /// Reserve `bytes` here and in every ancestor; all-or-nothing.
+    bool try_reserve(std::uint64_t bytes) {
+        if (bytes == 0) return true;
+        if (!reserve_local(bytes)) return false;
+        if (parent_ != nullptr && !parent_->try_reserve(bytes)) {
+            used_.fetch_sub(bytes, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+
+    /// Return `bytes` previously reserved (here and up the chain).
+    void release(std::uint64_t bytes) {
+        if (bytes == 0) return;
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+        if (parent_ != nullptr) parent_->release(bytes);
+    }
+
+    std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+    std::uint64_t limit() const { return limit_; }
+    std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  private:
+    bool reserve_local(std::uint64_t bytes) {
+        std::uint64_t cur = used_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::uint64_t next = cur + bytes;
+            if (limit_ != 0 && next > limit_) return false;
+            if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed))
+                break;
+        }
+        // High-water mark; racy max is fine (monotone CAS loop).
+        std::uint64_t now = used_.load(std::memory_order_relaxed);
+        std::uint64_t pk = peak_.load(std::memory_order_relaxed);
+        while (now > pk &&
+               !peak_.compare_exchange_weak(pk, now, std::memory_order_relaxed)) {
+        }
+        return true;
+    }
+
+    const std::uint64_t limit_;
+    MemoryBudget* const parent_;
+    std::atomic<std::uint64_t> used_{0};
+    std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_MEMORY_BUDGET_H

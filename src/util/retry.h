@@ -1,0 +1,62 @@
+// Bounded retry with deterministic exponential backoff.
+//
+// Wraps the transient-I/O failure sites the fault injector models
+// (delay-cache store, checkpoint publish): an operation that returns a
+// non-ok util::Status is retried up to max_attempts times, sleeping
+// initial_backoff_ms * multiplier^k between attempts. The sleeper is
+// injectable so tests observe the exact backoff sequence without
+// touching the wall clock; the sequence is a pure function of the
+// policy, never of timing or randomness.
+//
+// Only use this around operations that are IDEMPOTENT and whose
+// failure is plausibly transient (filesystem races, NFS hiccups). A
+// deterministic failure -- bad path, full disk -- just costs the
+// backoff and returns the last Status unchanged; callers keep their
+// own degrade-or-propagate policy.
+#ifndef CTSIM_UTIL_RETRY_H
+#define CTSIM_UTIL_RETRY_H
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ctsim::util {
+
+struct RetryPolicy {
+    int max_attempts{3};            ///< total tries (>= 1)
+    double initial_backoff_ms{1.0}; ///< sleep before the 2nd attempt
+    double multiplier{2.0};         ///< backoff growth per attempt
+    /// Injectable clock: called with the backoff for each sleep.
+    /// Null = real std::this_thread::sleep_for.
+    std::function<void(double)> sleep_ms;
+};
+
+/// Run `fn` (returning util::Status) under `policy`. Returns the first
+/// ok Status, or the LAST failure after the attempts are exhausted.
+template <typename Fn>
+Status retry_status(const RetryPolicy& policy, Fn&& fn) {
+    const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+    double backoff = policy.initial_backoff_ms;
+    Status last;
+    for (int a = 0; a < attempts; ++a) {
+        last = fn();
+        if (last.ok()) return last;
+        if (a + 1 < attempts) {
+            if (policy.sleep_ms) {
+                policy.sleep_ms(backoff);
+            } else if (backoff > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoff));
+            }
+            backoff *= policy.multiplier;
+        }
+    }
+    return last;
+}
+
+}  // namespace ctsim::util
+
+#endif  // CTSIM_UTIL_RETRY_H

@@ -14,10 +14,12 @@
 #define CTSIM_TESTS_GOLDEN_COMMON_H
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +27,8 @@
 #include "bench_io/synthetic.h"
 #include "cts/timing.h"
 #include "tests/cts_test_util.h"
+#include "util/cancel.h"
+#include "util/memory_budget.h"
 
 namespace ctsim::testutil {
 
@@ -33,11 +37,24 @@ struct GoldenInstance {
     int sinks;
     double span_um;
     unsigned rng_seed;
+    /// Degraded-output variants (docs/robustness.md): the degradation
+    /// contract promises DETERMINISTIC degraded trees, so their
+    /// quality numbers are pinnable exactly like nominal ones.
+    /// Nonzero = cut the run after this many cancellation polls.
+    std::uint64_t trip_after{0};
+    /// Nonzero = cap the memory budget at this fraction of the
+    /// instance's measured unlimited-run peak (serial, so the ladder
+    /// escalates at deterministic points).
+    double budget_frac{0.0};
 };
 
 /// The complexity_scaling sink-count and die-span sweep instances of
 /// bench/bench_synth_json (same generator, same seeds), capped at 400
-/// sinks so the suite stays fast under Debug + sanitizers.
+/// sinks so the suite stays fast under Debug + sanitizers. Each
+/// instance family additionally pins one deadline-cut and one
+/// budget-degraded variant: a regression that silently changes what a
+/// degraded run produces is as real as one that changes the nominal
+/// tree.
 inline const std::vector<GoldenInstance>& golden_instances() {
     static const std::vector<GoldenInstance> kInstances = {
         {"scal_n100", 100, 40000.0, 11},
@@ -45,6 +62,12 @@ inline const std::vector<GoldenInstance>& golden_instances() {
         {"scal_n400", 400, 40000.0, 11},
         {"scal_span20", 400, 20000.0, 13},
         {"scal_span80", 400, 80000.0, 13},
+        // Degraded variants: sink-count family...
+        {"scal_n200_cut", 200, 40000.0, 11, /*trip_after=*/400},
+        {"scal_n200_mem", 200, 40000.0, 11, 0, /*budget_frac=*/0.9},
+        // ...and die-span family.
+        {"scal_span80_cut", 400, 80000.0, 13, /*trip_after=*/800},
+        {"scal_span80_mem", 400, 80000.0, 13, 0, /*budget_frac=*/0.9},
     };
     return kInstances;
 }
@@ -101,7 +124,11 @@ inline std::string golden_path(const GoldenInstance& inst) {
 }
 
 /// Synthesize one instance with default options (the configuration
-/// the golden suite pins) and measure it.
+/// the golden suite pins) and measure it. Degraded variants install
+/// their deterministic cut (trip_after polls) or cap (budget_frac of
+/// the measured unlimited-run peak) first -- both degradations are
+/// bit-for-bit reproducible in a serial run, which is exactly what
+/// makes their output pinnable.
 inline GoldenRecord measure_golden(const GoldenInstance& inst) {
     bench_io::BenchmarkSpec spec;
     spec.name = inst.name;
@@ -111,6 +138,21 @@ inline GoldenRecord measure_golden(const GoldenInstance& inst) {
     const auto sinks = bench_io::generate(spec);
 
     cts::SynthesisOptions opt;  // defaults: the shipped configuration
+    util::CancelToken token;
+    if (inst.trip_after > 0) {
+        token.trip_after(inst.trip_after);
+        opt.cancel = &token;
+    }
+    std::optional<util::MemoryBudget> capped;
+    if (inst.budget_frac > 0.0) {
+        util::MemoryBudget meter(0);
+        cts::SynthesisOptions mo = opt;
+        mo.memory_budget = &meter;
+        (void)cts::synthesize(sinks, fitted_quick(), mo);
+        capped.emplace(static_cast<std::uint64_t>(static_cast<double>(meter.peak()) *
+                                                  inst.budget_frac));
+        opt.memory_budget = &*capped;
+    }
     const cts::SynthesisResult res = cts::synthesize(sinks, fitted_quick(), opt);
 
     GoldenRecord rec;
@@ -157,9 +199,11 @@ inline bool write_golden(const GoldenInstance& inst, const GoldenRecord& rec) {
     std::snprintf(buf, sizeof(buf),
                   "# ctsim golden snapshot -- regenerate with build/update_golden\n"
                   "name %s\nsinks %d\nspan_um %.0f\nrng_seed %u\n"
+                  "trip_after %llu\nbudget_frac %.2f\n"
                   "wirelength_um %.3f\nskew_ps %.6f\nbuffers %d\ntree_nodes %d\n",
-                  inst.name, inst.sinks, inst.span_um, inst.rng_seed, rec.wirelength_um,
-                  rec.skew_ps, rec.buffers, rec.tree_nodes);
+                  inst.name, inst.sinks, inst.span_um, inst.rng_seed,
+                  static_cast<unsigned long long>(inst.trip_after), inst.budget_frac,
+                  rec.wirelength_um, rec.skew_ps, rec.buffers, rec.tree_nodes);
     out << buf;
     return static_cast<bool>(out);
 }

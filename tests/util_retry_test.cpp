@@ -1,0 +1,198 @@
+// util::retry_status (bounded retry, deterministic injectable
+// backoff) and util::write_file_atomic (pid-suffixed temp + rename
+// publication) -- the pair the delay-cache store and checkpoint
+// publish sites are built on.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ctsim::util::FaultInjector;
+using ctsim::util::FaultSite;
+using ctsim::util::RetryPolicy;
+using ctsim::util::retry_status;
+using ctsim::util::Status;
+using ctsim::util::StatusCode;
+
+struct FaultGuard {
+    ~FaultGuard() { FaultInjector::instance().disarm_all(); }
+};
+
+/// Scratch directory, wiped on entry and exit.
+struct TempDir {
+    fs::path dir;
+    explicit TempDir(const char* name) : dir(fs::temp_directory_path() / name) {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+    std::string file(const char* leaf) const { return (dir / leaf).string(); }
+    int entries() const {
+        int n = 0;
+        for (const auto& e : fs::directory_iterator(dir)) {
+            (void)e;
+            ++n;
+        }
+        return n;
+    }
+};
+
+RetryPolicy recording_policy(std::vector<double>* sleeps, int max_attempts = 3) {
+    RetryPolicy p;
+    p.max_attempts = max_attempts;
+    p.sleep_ms = [sleeps](double ms) { sleeps->push_back(ms); };
+    return p;
+}
+
+TEST(Retry, FirstSuccessShortCircuits) {
+    std::vector<double> sleeps;
+    int calls = 0;
+    const Status s = retry_status(recording_policy(&sleeps), [&] {
+        ++calls;
+        return Status();
+    });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(Retry, TransientFailureRecoversOnLaterAttempt) {
+    std::vector<double> sleeps;
+    int calls = 0;
+    const Status s = retry_status(recording_policy(&sleeps), [&] {
+        return ++calls < 3 ? Status(StatusCode::internal, "flaky") : Status();
+    });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(calls, 3);
+    // Deterministic exponential backoff: 1ms then 2ms, a pure
+    // function of the policy -- no wall clock, no randomness.
+    EXPECT_EQ(sleeps, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Retry, ExhaustedAttemptsReturnLastStatus) {
+    std::vector<double> sleeps;
+    RetryPolicy p = recording_policy(&sleeps, 4);
+    p.initial_backoff_ms = 0.5;
+    p.multiplier = 3.0;
+    int calls = 0;
+    const Status s = retry_status(p, [&] {
+        std::ostringstream msg;
+        msg << "attempt " << ++calls;
+        return Status(StatusCode::cache_corruption, msg.str());
+    });
+    EXPECT_EQ(s.code(), StatusCode::cache_corruption);
+    EXPECT_NE(s.message().find("attempt 4"), std::string::npos) << s.to_string();
+    EXPECT_EQ(calls, 4);
+    // No sleep after the final attempt.
+    EXPECT_EQ(sleeps, (std::vector<double>{0.5, 1.5, 4.5}));
+}
+
+TEST(Retry, MaxAttemptsBelowOneStillRunsOnce) {
+    std::vector<double> sleeps;
+    int calls = 0;
+    const Status s = retry_status(recording_policy(&sleeps, 0),
+                                  [&] { return ++calls, Status(); });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(AtomicFile, RoundTripsContentsAndLeavesNoTemp) {
+    TempDir tmp("ctsim_atomic_file_test");
+    const std::string path = tmp.file("payload.txt");
+    const std::string contents = std::string("line one\nline two\n\0binary", 25);
+    ASSERT_TRUE(ctsim::util::write_file_atomic(path, contents).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream got;
+    got << in.rdbuf();
+    EXPECT_EQ(got.str(), contents);
+    EXPECT_EQ(tmp.entries(), 1);  // the target only -- no temp left
+}
+
+TEST(AtomicFile, OverwriteIsAtomicReplace) {
+    TempDir tmp("ctsim_atomic_file_test");
+    const std::string path = tmp.file("payload.txt");
+    ASSERT_TRUE(ctsim::util::write_file_atomic(path, "old").ok());
+    ASSERT_TRUE(ctsim::util::write_file_atomic(path, "new").ok());
+    std::ifstream in(path);
+    std::string got;
+    std::getline(in, got);
+    EXPECT_EQ(got, "new");
+    EXPECT_EQ(tmp.entries(), 1);
+}
+
+TEST(AtomicFile, InjectedPublishFailureUnlinksTempAndKeepsOldFile) {
+    FaultGuard guard;
+    TempDir tmp("ctsim_atomic_file_test");
+    const std::string path = tmp.file("payload.txt");
+    ASSERT_TRUE(ctsim::util::write_file_atomic(path, "survivor").ok());
+    FaultInjector::instance().arm(FaultSite::checkpoint_publish_fail, 7, 1.0);
+    const Status s = ctsim::util::write_file_atomic(path, "torn",
+                                                    FaultSite::checkpoint_publish_fail);
+    FaultInjector::instance().disarm_all();
+    EXPECT_FALSE(s.ok());
+    // Old file untouched, temp unlinked: readers never see a torn
+    // publish and the directory gains no stray files.
+    std::ifstream in(path);
+    std::string got;
+    std::getline(in, got);
+    EXPECT_EQ(got, "survivor");
+    EXPECT_EQ(tmp.entries(), 1);
+}
+
+TEST(AtomicFile, UnwritableDirectoryIsStructuredFailure) {
+    // A regular file where a directory component should be: the
+    // missing-dir recovery path cannot create it, so the failure must
+    // surface as a structured Status (and never an exception).
+    TempDir tmp("ctsim_atomic_file_test");
+    ASSERT_TRUE(ctsim::util::write_file_atomic(tmp.file("blocker"), "flat").ok());
+    const Status s =
+        ctsim::util::write_file_atomic(tmp.file("blocker") + "/payload.txt", "x");
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(s.message().empty());
+    EXPECT_EQ(tmp.entries(), 1);  // the blocker only -- no temp left
+}
+
+TEST(AtomicFile, RetryAroundInjectedFaultRecoversWhenFaultClears) {
+    // The production idiom: a transient publish failure burns retry
+    // attempts, then the write lands -- and a persistent one surfaces
+    // the final Status with zero stray files either way.
+    FaultGuard guard;
+    TempDir tmp("ctsim_atomic_file_test");
+    const std::string path = tmp.file("payload.txt");
+    // p=1.0: all 3 attempts fail.
+    FaultInjector::instance().arm(FaultSite::checkpoint_publish_fail, 11, 1.0);
+    std::vector<double> sleeps;
+    Status s = retry_status(recording_policy(&sleeps), [&] {
+        return ctsim::util::write_file_atomic(path, "v1",
+                                              FaultSite::checkpoint_publish_fail);
+    });
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(sleeps.size(), 2u);
+    EXPECT_EQ(FaultInjector::instance().probes(FaultSite::checkpoint_publish_fail), 3u);
+    EXPECT_EQ(tmp.entries(), 0);
+    // Disarm mid-flight: the next retry loop succeeds on its first try.
+    FaultInjector::instance().disarm_all();
+    s = retry_status(recording_policy(&sleeps), [&] {
+        return ctsim::util::write_file_atomic(path, "v2",
+                                              FaultSite::checkpoint_publish_fail);
+    });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(tmp.entries(), 1);
+}
+
+}  // namespace

@@ -13,6 +13,11 @@ thresholds:
     machine-speed yardstick.
   * wirelength: > 3% on any mode (solution quality; machine
     independent, so compared raw).
+  * peak RSS: > 25% on an instance's `peak_rss_mb` high-water (the
+    footprint is a property of the algorithm's working set, far less
+    machine-sensitive than wall-clock). Baselines written before the
+    column existed are tolerated: the missing column is flagged with a
+    note and the check skipped, never counted as a pass.
   * refined skew: the refine* and reclaim* modes carry the top-down
     skew-refinement clamp (the reclaim modes additionally the
     engine-verified wirelength reclamation, whose batches are rolled
@@ -40,6 +45,7 @@ TIME_REGRESSION = 1.15
 WIRELENGTH_REGRESSION = 1.03
 MIN_SECONDS = 0.05
 SKEW_SLACK_PS = 1.0
+RSS_REGRESSION = 1.25
 
 
 def by_name(doc):
@@ -73,6 +79,24 @@ def main():
             continue
         fseed = f.get("seed", {}).get("seconds", 0.0)
         bseed = b.get("seed", {}).get("seconds", 0.0)
+
+        # Peak-RSS gate. Old baselines predate the column: tolerate
+        # them with a visible note (so the skip can be audited) and
+        # without counting the skip as a passing check.
+        frss, brss = f.get("peak_rss_mb"), b.get("peak_rss_mb")
+        if brss is None:
+            print(f"note: {name} baseline has no peak_rss_mb column "
+                  f"(written before the RSS gate); RSS check skipped")
+        elif frss is None:
+            print(f"warning: {name} missing peak_rss_mb in fresh run; "
+                  f"RSS check skipped")
+        else:
+            checked += 1
+            if brss > 0 and frss > brss * RSS_REGRESSION:
+                failures.append(
+                    f"{name}: peak RSS {brss:.1f} -> {frss:.1f} MB "
+                    f"(+{100.0 * (frss / brss - 1.0):.1f}% > "
+                    f"{100.0 * (RSS_REGRESSION - 1.0):.0f}%)")
         for mode in mode_keys(b):
             if mode not in f:
                 print(f"note: {name}/{mode} missing from fresh run, skipped")

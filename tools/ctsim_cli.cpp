@@ -23,11 +23,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "bench_io/parsers.h"
 #include "bench_io/synthetic.h"
 #include "circuit/spice_writer.h"
+#include "cts/checkpoint.h"
 #include "cts/synthesizer.h"
 #include "delaylib/fitted_library.h"
 #include "sim/netlist_sim.h"
@@ -51,6 +53,13 @@ void usage() {
         "  --matching P        greedy | path-growing (default greedy)\n"
         "  --deadline-ms MS    cooperative synthesis deadline; on expiry the\n"
         "                      run degrades gracefully (docs/robustness.md)\n"
+        "  --memory-budget-mb MB  soft memory cap; under pressure the run\n"
+        "                      degrades along the documented ladder before it\n"
+        "                      ever fails (docs/robustness.md)\n"
+        "  --checkpoint-dir DIR  crash-safe checkpointing: snapshots at phase\n"
+        "                      boundaries, and a rerun with the same input and\n"
+        "                      options resumes from the last one, skipping the\n"
+        "                      completed phases (cleared on success)\n"
         "  --library FILE      delay library cache (default ctsim_delaylib_45nm.cache)\n"
         "  --cache-dir DIR     directory for relative cache files (also honors the\n"
         "                      CTSIM_CACHE_DIR environment variable; without either,\n"
@@ -83,7 +92,7 @@ int exit_code_for(ctsim::util::StatusCode c) {
 
 int main(int argc, char** argv) {
     using namespace ctsim;
-    std::string bench_name, gsrc_file, ispd_file, spice_file;
+    std::string bench_name, gsrc_file, ispd_file, spice_file, checkpoint_dir;
     std::string library_path = "ctsim_delaylib_45nm.cache";
     cts::SynthesisOptions opt;
     bool quiet = false;
@@ -104,6 +113,8 @@ int main(int argc, char** argv) {
         else if (a == "--slew") opt.slew_target_ps = std::atof(next());
         else if (a == "--grid") opt.grid_cells_per_dim = std::atoi(next());
         else if (a == "--deadline-ms") opt.deadline_ms = std::atof(next());
+        else if (a == "--memory-budget-mb") opt.memory_budget_mb = std::atof(next());
+        else if (a == "--checkpoint-dir") checkpoint_dir = next();
         else if (a == "--library") library_path = next();
         else if (a == "--cache-dir") setenv("CTSIM_CACHE_DIR", next(), 1);
         else if (a == "--spice") spice_file = next();
@@ -189,6 +200,12 @@ int main(int argc, char** argv) {
         std::printf("%s: %zu sinks, slew target %.0f ps (limit %.0f ps)\n", label.c_str(),
                     sinks.size(), opt.slew_target_ps, opt.slew_limit_ps);
 
+    std::unique_ptr<cts::Checkpointer> checkpoint;
+    if (!checkpoint_dir.empty()) {
+        checkpoint = std::make_unique<cts::Checkpointer>(checkpoint_dir);
+        opt.checkpoint = checkpoint.get();
+    }
+
     cts::SynthesisResult result;
     try {
         result = cts::synthesize(sinks, *model, opt);
@@ -196,6 +213,10 @@ int main(int argc, char** argv) {
         die(e);
     }
     const cts::SynthesisDiagnostics& diag = result.diagnostics;
+    if (diag.resumed_from != cts::CheckpointPhase::none && !quiet)
+        std::printf("resumed from %s checkpoint (%s)\n",
+                    cts::checkpoint_phase_name(diag.resumed_from),
+                    checkpoint->path().c_str());
     if (!quiet)
         std::printf("tree: %d levels, %d buffers, %.2f mm wire, %d h-flips\n", result.levels,
                     result.buffer_count, result.wire_length_um / 1000.0,
@@ -213,6 +234,19 @@ int main(int argc, char** argv) {
                      cts::degrade_stage_name(diag.degraded_at), diag.degraded_routes,
                      diag.refine_skipped ? "skipped" : "ran",
                      diag.reclaim_skipped ? "skipped" : "ran");
+    if (diag.memory_rung != cts::MemoryRung::none)
+        std::fprintf(stderr,
+                     "ctsim_cli: warning: memory budget pressure; degraded to rung "
+                     "'%s' (peak %.1f MB of %.1f MB budget, %d coarsened route%s)\n",
+                     cts::memory_rung_name(diag.memory_rung),
+                     static_cast<double>(diag.memory_peak_bytes) / (1024.0 * 1024.0),
+                     opt.memory_budget_mb, diag.grid_coarsened_routes,
+                     diag.grid_coarsened_routes == 1 ? "" : "s");
+
+    // A finished run must never be resumed: clear the snapshot now
+    // that the tree is in hand (the checkpoint exists to survive a
+    // crash or cut BEFORE this point).
+    if (checkpoint != nullptr) checkpoint->clear();
 
     const circuit::Netlist net = result.netlist(tk, lib);
     const sim::NetlistSimReport rep = sim::simulate_netlist(net, tk, lib);

@@ -19,11 +19,13 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def make_instance(name, seed_s=1.0, mode_s=0.2, wirelength=1000.0, skew=2.0,
-                  modes=("opt", "refine")):
+                  modes=("opt", "refine"), rss_mb=100.0):
     inst = {"name": name,
             "seed": {"seconds": seed_s, "wirelength_um": wirelength, "skew_ps": 8.0}}
     for m in modes:
         inst[m] = {"seconds": mode_s, "wirelength_um": wirelength, "skew_ps": skew}
+    if rss_mb is not None:
+        inst["peak_rss_mb"] = rss_mb
     return inst
 
 
@@ -144,6 +146,43 @@ def test_missing_seconds_column_is_flagged_not_fatal():
     assert rc == 0, out
     assert "missing seconds in fresh" in out
     assert "Traceback" not in out
+
+
+def test_peak_rss_regression_fails_beyond_25_percent():
+    base = {"instances": [make_instance("a", rss_mb=100.0)]}
+    fresh = {"instances": [make_instance("a", rss_mb=130.0)]}  # +30% > 25%
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "peak RSS" in out
+
+
+def test_peak_rss_within_25_percent_passes():
+    base = {"instances": [make_instance("a", rss_mb=100.0)]}
+    fresh = {"instances": [make_instance("a", rss_mb=120.0)]}  # +20%
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+
+
+def test_old_baseline_without_rss_column_is_tolerated_and_flagged():
+    # Baselines committed before the peak_rss_mb column existed must
+    # not break the gate -- the skip is announced, never silent, and
+    # the other metrics keep being checked.
+    base = {"instances": [make_instance("a", rss_mb=None)]}
+    fresh = {"instances": [make_instance("a", rss_mb=500.0)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 0, out
+    assert "no peak_rss_mb column" in out
+    assert "RSS check skipped" in out
+    assert "Traceback" not in out
+
+
+def test_old_baseline_without_rss_does_not_mask_other_regressions():
+    base = {"instances": [make_instance("a", rss_mb=None, wirelength=1000.0)]}
+    fresh = {"instances": [make_instance("a", rss_mb=500.0, wirelength=1040.0)]}
+    rc, out = run_guard(fresh, base)
+    assert rc == 1, out
+    assert "wirelength" in out
+    assert "RSS check skipped" in out
 
 
 def test_empty_but_wellformed_document_is_a_usage_error():
