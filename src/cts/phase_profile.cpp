@@ -7,6 +7,7 @@ namespace {
 std::atomic<std::uint64_t> g_phase_ns[kPhaseCount];
 std::atomic<std::uint64_t> g_counters[kCounterCount];
 thread_local ScopedPhase* t_current = nullptr;
+thread_local ThreadCollector* t_collector = nullptr;
 
 }  // namespace
 
@@ -19,13 +20,47 @@ std::atomic<bool>& enabled_flag() {
 
 void add_ns(Phase p, std::uint64_t ns) {
     g_phase_ns[static_cast<int>(p)].fetch_add(ns, std::memory_order_relaxed);
+    if (t_collector != nullptr) t_collector->fold_ns(p, ns);
 }
 
 void bump(Counter c, std::uint64_t n) {
     g_counters[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+    if (t_collector != nullptr) t_collector->fold_count(c, n);
 }
 
 }  // namespace detail
+
+ThreadCollector::ThreadCollector() {
+    prev_ = t_collector;
+    t_collector = this;
+}
+
+ThreadCollector::~ThreadCollector() { t_collector = prev_; }
+
+Snapshot ThreadCollector::snapshot() const {
+    Snapshot s;
+    const auto secs = [&](Phase p) {
+        return static_cast<double>(phase_ns_[static_cast<int>(p)]) * 1e-9;
+    };
+    s.maze_s = secs(Phase::maze);
+    s.balance_s = secs(Phase::balance);
+    s.timing_s = secs(Phase::timing);
+    s.refine_s = secs(Phase::refine);
+    s.reclaim_s = secs(Phase::reclaim);
+    s.exec_idle_s = secs(Phase::exec_idle);
+    s.barrier_s = secs(Phase::barrier);
+    const auto cnt = [&](Counter c) { return counters_[static_cast<int>(c)]; };
+    s.maze_calls = cnt(Counter::maze_calls);
+    s.c2f_coarse_routes = cnt(Counter::c2f_coarse_routes);
+    s.c2f_refined = cnt(Counter::c2f_refined);
+    s.c2f_fallbacks = cnt(Counter::c2f_fallbacks);
+    s.deadline_trips = cnt(Counter::deadline_trips);
+    s.maze_degraded = cnt(Counter::maze_degraded);
+    s.grid_coarsenings = cnt(Counter::grid_coarsenings);
+    s.dag_tasks = cnt(Counter::dag_tasks);
+    s.dag_steals = cnt(Counter::dag_steals);
+    return s;
+}
 
 void enable(bool on) { detail::enabled_flag().store(on, std::memory_order_relaxed); }
 bool enabled() { return detail::enabled_flag().load(std::memory_order_relaxed); }

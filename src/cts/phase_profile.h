@@ -75,6 +75,41 @@ void add_ns(Phase p, std::uint64_t ns);
 void bump(Counter c, std::uint64_t n = 1);
 }  // namespace detail
 
+/// Per-thread profile collector for multi-tenant serving.
+///
+/// The global accumulators fold every thread into one total, which is
+/// what the bench harness wants -- but a daemon running concurrent
+/// requests needs each request's own phase split, and global snapshot
+/// deltas would smear simultaneous tenants together. While a
+/// ThreadCollector is installed on a thread (RAII), every nanosecond
+/// and counter that thread attributes is recorded here IN ADDITION to
+/// the globals. A request confined to one worker thread (the serving
+/// session pins num_threads = 1) therefore reads its exact private
+/// phase profile from snapshot(), regardless of what other workers
+/// are doing.
+///
+/// Collectors nest (the previous one is restored on destruction) and
+/// only collect while profiling is enabled -- the disarmed fast path
+/// is untouched because add_ns/bump are only reached when enabled.
+class ThreadCollector {
+  public:
+    ThreadCollector();   ///< installs on the calling thread
+    ~ThreadCollector();  ///< restores the previously installed collector
+    ThreadCollector(const ThreadCollector&) = delete;
+    ThreadCollector& operator=(const ThreadCollector&) = delete;
+
+    Snapshot snapshot() const;
+
+    // detail::add_ns / detail::bump use these; not client API.
+    void fold_ns(Phase p, std::uint64_t ns) { phase_ns_[static_cast<int>(p)] += ns; }
+    void fold_count(Counter c, std::uint64_t n) { counters_[static_cast<int>(c)] += n; }
+
+  private:
+    std::uint64_t phase_ns_[kPhaseCount]{};
+    std::uint64_t counters_[kCounterCount]{};
+    ThreadCollector* prev_{nullptr};
+};
+
 /// Count one event (no-op when profiling is disabled).
 inline void count_event(Counter c) {
     if (detail::enabled_flag().load(std::memory_order_relaxed)) detail::bump(c);

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -41,6 +45,8 @@ std::uint64_t fnv1a64(const std::string& s) {
     util::throw_status(util::Status::cache_corruption("delay library: " + what));
 }
 
+std::atomic<std::uint64_t> g_characterizations{0};
+
 }  // namespace
 
 double FitReport::worst_max_abs() const {
@@ -64,6 +70,7 @@ void FittedLibrary::clamp_single(double& slew, double& len) const {
 std::unique_ptr<FittedLibrary> FittedLibrary::characterize(const tech::Technology& tech,
                                                            const tech::BufferLibrary& lib,
                                                            const FitOptions& opt) {
+    g_characterizations.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<FittedLibrary> out(new FittedLibrary(tech, lib));
     const int n = lib.count();
     out->single_.resize(static_cast<std::size_t>(n) * n);
@@ -262,11 +269,22 @@ std::unique_ptr<FittedLibrary> FittedLibrary::load_body(std::istream& is,
 
 std::string FittedLibrary::resolve_cache_path(const std::string& path) {
     if (path.empty() || path.front() == '/') return path;
-    const char* dir = std::getenv("CTSIM_CACHE_DIR");
-    if (!dir || !*dir) return path;
-    std::string resolved(dir);
-    if (resolved.back() != '/') resolved += '/';
-    return resolved + path;
+    // Never default to the CWD: a bare-filename cache path used to
+    // land wherever the tool was started -- running ctest from the
+    // repo root littered the source tree with *.cache files. The
+    // directory itself is created lazily by write_file_atomic.
+    std::string dir;
+    if (const char* env = std::getenv("CTSIM_CACHE_DIR"); env && *env) {
+        dir = env;
+    } else if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg) {
+        dir = std::string(xdg) + "/ctsim";
+    } else if (const char* home = std::getenv("HOME"); home && *home) {
+        dir = std::string(home) + "/.cache/ctsim";
+    } else {
+        dir = "/tmp/ctsim-cache-" + std::to_string(::getuid());
+    }
+    if (dir.back() != '/') dir += '/';
+    return dir + path;
 }
 
 bool FittedLibrary::save_cache_atomic(const std::string& where) const {
@@ -311,6 +329,54 @@ std::unique_ptr<FittedLibrary> FittedLibrary::load_or_characterize(
     auto fresh = characterize(tech, lib, opt);
     fresh->save_cache_atomic(where);
     return fresh;
+}
+
+std::shared_ptr<const FittedLibrary> FittedLibrary::load_or_characterize_shared(
+    const std::string& path, const tech::Technology& tech, const tech::BufferLibrary& lib,
+    const FitOptions& opt, util::Status* cache_status) {
+    // Once-style latch per resolved cache path: the first caller
+    // inserts a pending future and does the (seconds-long) work
+    // OUTSIDE the registry lock; racers block on the future instead
+    // of re-characterizing. Pre-latch, two daemon requests hitting a
+    // cold cache both paid a characterization and both published --
+    // wasted seconds and a pointless double write. Failures clear the
+    // latch so a later call can retry (e.g. after the operator fixes
+    // a permissions problem).
+    using Future = std::shared_future<std::shared_ptr<const FittedLibrary>>;
+    static std::mutex mu;
+    static std::map<std::string, Future> registry;
+
+    const std::string where = resolve_cache_path(path);
+    std::promise<std::shared_ptr<const FittedLibrary>> promise;
+    Future fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = registry.find(where);
+        if (it == registry.end()) {
+            owner = true;
+            fut = promise.get_future().share();
+            registry.emplace(where, fut);
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(load_or_characterize(path, tech, lib, opt, cache_status));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu);
+            registry.erase(where);
+        }
+    } else if (cache_status) {
+        *cache_status = util::Status{};  // the owner already reported
+    }
+    return fut.get();
+}
+
+std::uint64_t FittedLibrary::characterization_count() {
+    return g_characterizations.load(std::memory_order_relaxed);
 }
 
 }  // namespace ctsim::delaylib

@@ -14,6 +14,7 @@
 #ifndef CTSIM_DELAYLIB_FITTED_LIBRARY_H
 #define CTSIM_DELAYLIB_FITTED_LIBRARY_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -64,22 +65,49 @@ class FittedLibrary final : public DelayModel {
     static std::unique_ptr<FittedLibrary> load(std::istream& is, const tech::Technology& tech,
                                                const tech::BufferLibrary& lib);
     /// Load from `path` if present, otherwise characterize and save.
-    /// A RELATIVE `path` is resolved against the CTSIM_CACHE_DIR
-    /// environment variable when set (resolve_cache_path below), so
-    /// tools that default to a bare filename stop dropping caches
-    /// into whatever directory they were started from; absolute
-    /// paths are used verbatim. A corrupt cache is never fatal: the
-    /// library is re-characterized and rewritten; when `cache_status`
-    /// is non-null it receives why the cache was rejected (ok when it
+    /// A RELATIVE `path` is resolved to a cache directory
+    /// (resolve_cache_path below) -- never the CWD -- so tools that
+    /// default to a bare filename stop dropping caches into whatever
+    /// directory they were started from; absolute paths are used
+    /// verbatim. A corrupt cache is never fatal: the library is
+    /// re-characterized and rewritten; when `cache_status` is
+    /// non-null it receives why the cache was rejected (ok when it
     /// loaded or simply did not exist) so tools can warn.
     static std::unique_ptr<FittedLibrary> load_or_characterize(
         const std::string& path, const tech::Technology& tech,
         const tech::BufferLibrary& lib, const FitOptions& opt = {},
         util::Status* cache_status = nullptr);
 
-    /// The cache location load_or_characterize will actually use:
-    /// `path` prefixed with CTSIM_CACHE_DIR when that is set and
-    /// `path` is relative; `path` unchanged otherwise.
+    /// load_or_characterize for long-lived multi-threaded callers
+    /// (the ctsimd serving session): first touch per RESOLVED cache
+    /// path is serialized behind a once-style latch, so N threads
+    /// racing a cold cache pay exactly ONE characterization, and the
+    /// fitted library is shared immutably process-wide thereafter.
+    /// The thread that performs the work reports through
+    /// `cache_status` exactly like load_or_characterize; latecomers
+    /// receive ok (the cache outcome was already reported once). A
+    /// failed first touch (throwing load AND characterize) rethrows
+    /// to every waiter and clears the latch so a later call retries.
+    /// Distinct FitOptions must use distinct cache paths (they
+    /// already must, or the on-disk cache would alias them too).
+    static std::shared_ptr<const FittedLibrary> load_or_characterize_shared(
+        const std::string& path, const tech::Technology& tech,
+        const tech::BufferLibrary& lib, const FitOptions& opt = {},
+        util::Status* cache_status = nullptr);
+
+    /// Full characterization sweeps this process has run -- the test
+    /// observable pinning the once-latch contract above.
+    static std::uint64_t characterization_count();
+
+    /// The cache location load_or_characterize will actually use.
+    /// Absolute paths are used verbatim. A relative `path` is
+    /// prefixed with, in order of preference: CTSIM_CACHE_DIR when
+    /// set; $XDG_CACHE_HOME/ctsim; $HOME/.cache/ctsim; /tmp (last
+    /// resort). The CWD is NEVER the default: bare-filename defaults
+    /// used to litter whatever directory the tool was started from
+    /// (tests running at the repo root dropped *.cache files into the
+    /// source tree). The build system points CTSIM_CACHE_DIR at the
+    /// build tree for every test and bench target.
     static std::string resolve_cache_path(const std::string& path);
 
     void save(std::ostream& os) const;

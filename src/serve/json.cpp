@@ -1,0 +1,261 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctsim::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    Json run() {
+        skip_ws();
+        Json v = value(0);
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const {
+        util::throw_status(util::Status::invalid_input(what).at(
+            "<request>", 1, static_cast<int>(pos_) + 1));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json value(int depth) {
+        if (depth > kMaxDepth) fail("nesting too deep");
+        switch (peek()) {
+            case '{': return object(depth);
+            case '[': return array(depth);
+            case '"': {
+                Json v;
+                v.type_ = Json::Type::string;
+                v.string_ = string();
+                return v;
+            }
+            case 't': return keyword("true", [](Json& v) {
+                v.type_ = Json::Type::boolean;
+                v.bool_ = true;
+            });
+            case 'f': return keyword("false", [](Json& v) {
+                v.type_ = Json::Type::boolean;
+                v.bool_ = false;
+            });
+            case 'n': return keyword("null", [](Json& v) { v.type_ = Json::Type::null; });
+            default: return number();
+        }
+    }
+
+    template <class Fill>
+    Json keyword(const char* word, Fill fill) {
+        for (const char* p = word; *p; ++p) {
+            if (peek() != *p) fail(std::string("invalid literal (expected '") + word + "')");
+            ++pos_;
+        }
+        Json v;
+        fill(v);
+        return v;
+    }
+
+    Json number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0' || !std::isfinite(d)) fail("invalid number");
+        Json v;
+        v.type_ = Json::Type::number;
+        v.number_ = d;
+        return v;
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= text_.size()) fail("truncated \\u escape");
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("invalid \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point; surrogate pairs
+                    // are not needed by the protocol (names are ASCII)
+                    // but lone surrogates must not crash.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("invalid escape character");
+            }
+        }
+    }
+
+    Json array(int depth) {
+        expect('[');
+        Json v;
+        v.type_ = Json::Type::array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            v.items_.push_back(value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json object(int depth) {
+        expect('{');
+        Json v;
+        v.type_ = Json::Type::object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            if (peek() != '"') fail("expected object key string");
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            v.members_.emplace_back(std::move(key), value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_{0};
+};
+
+Json Json::parse(const std::string& text) { return JsonParser(text).run(); }
+
+const Json* Json::find(const std::string& key) const {
+    if (type_ != Type::object) return nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+std::string json_quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    // %.17g round-trips every double exactly -- the serving contract
+    // promises results BIT-IDENTICAL to a standalone run, and that
+    // must hold through the wire encoding, not just in memory.
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace ctsim::serve

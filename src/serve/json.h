@@ -1,0 +1,78 @@
+// Minimal JSON support for the serving protocol (docs/serving.md).
+//
+// The daemon speaks JSON-lines: one request object per line in, one
+// response object per line out. This is a deliberately small,
+// dependency-free reader/writer pair for exactly that traffic -- not
+// a general JSON library:
+//  * parse() reads one complete value and rejects trailing garbage,
+//    raising util::Error{invalid_input} whose Status carries the
+//    1-based byte column of the offending character, the same
+//    diagnostic shape the bench_io parsers use;
+//  * values are immutable after parsing (the request layer reads,
+//    never mutates);
+//  * a recursion-depth cap bounds hostile inputs (a 10 kB line of
+//    '[' must produce a typed error, not a stack overflow).
+//
+// Writing stays string-based: quote()/number() produce escaped /
+// finite-checked fragments and the response builders assemble objects
+// by hand -- responses are flat enough that a writer DOM would be
+// pure overhead on the serving hot path.
+#ifndef CTSIM_SERVE_JSON_H
+#define CTSIM_SERVE_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ctsim::serve {
+
+class Json {
+  public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    /// Parse one complete JSON value from `text` (trailing whitespace
+    /// allowed, anything else is an error). Throws
+    /// util::Error{invalid_input} with a column diagnostic.
+    static Json parse(const std::string& text);
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::null; }
+    bool is_bool() const { return type_ == Type::boolean; }
+    bool is_number() const { return type_ == Type::number; }
+    bool is_string() const { return type_ == Type::string; }
+    bool is_array() const { return type_ == Type::array; }
+    bool is_object() const { return type_ == Type::object; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+    const std::vector<Json>& items() const { return items_; }
+    const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+    /// Object member lookup (first match; null when absent or when
+    /// this value is not an object).
+    const Json* find(const std::string& key) const;
+
+  private:
+    Type type_{Type::null};
+    bool bool_{false};
+    double number_{0.0};
+    std::string string_;
+    std::vector<Json> items_;                             // array
+    std::vector<std::pair<std::string, Json>> members_;   // object, source order
+
+    friend class JsonParser;
+};
+
+/// `s` escaped and double-quoted for embedding in a JSON document.
+std::string json_quote(const std::string& s);
+
+/// `v` rendered as a JSON number; non-finite values (which JSON
+/// cannot represent) render as null.
+std::string json_number(double v);
+
+}  // namespace ctsim::serve
+
+#endif  // CTSIM_SERVE_JSON_H

@@ -1,0 +1,62 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <sys/resource.h>
+
+namespace ctsim::serve {
+
+void ServerStats::record_done(double latency_ms, bool ok, bool degraded) {
+    (ok ? served_ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (window_.size() < kWindow) {
+        window_.push_back(latency_ms);
+    } else {
+        window_[window_next_] = latency_ms;
+        window_next_ = (window_next_ + 1) % kWindow;
+    }
+    latency_sum_ms_ += latency_ms;
+    ++latency_count_;
+    max_ms_ = std::max(max_ms_, latency_ms);
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+    StatsSnapshot s;
+    s.received = received_.load(std::memory_order_relaxed);
+    s.malformed = malformed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.served_ok = served_ok_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!window_.empty()) {
+            std::vector<double> sorted = window_;
+            std::sort(sorted.begin(), sorted.end());
+            // Nearest-rank percentiles over the window.
+            const auto rank = [&](double q) {
+                const std::size_t i = static_cast<std::size_t>(
+                    std::ceil(q * static_cast<double>(sorted.size())));
+                return sorted[std::min(i == 0 ? 0 : i - 1, sorted.size() - 1)];
+            };
+            s.p50_ms = rank(0.50);
+            s.p99_ms = rank(0.99);
+        }
+        if (latency_count_ > 0)
+            s.mean_ms = latency_sum_ms_ / static_cast<double>(latency_count_);
+        s.max_ms = max_ms_;
+    }
+    s.peak_rss_mb = peak_rss_mb();
+    return s;
+}
+
+double peak_rss_mb() {
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+}  // namespace ctsim::serve

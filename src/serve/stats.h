@@ -1,0 +1,74 @@
+// Cumulative server counters and latency percentiles for ctsimd.
+//
+// One ServerStats instance lives for the whole serving session; every
+// worker records into it. Counters are plain atomics; latencies go
+// into a mutex-guarded sliding window (the newest kWindow samples) so
+// p50/p99 reflect recent behavior without unbounded growth in a
+// long-lived daemon. The plumbing follows the per-request stats idiom
+// of Katana's StatCollector: record at completion, aggregate lazily at
+// report time.
+#ifndef CTSIM_SERVE_STATS_H
+#define CTSIM_SERVE_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ctsim::serve {
+
+/// Point-in-time aggregate for a `stats` response / bench report.
+struct StatsSnapshot {
+    std::uint64_t received{0};   ///< lines that parsed as requests
+    std::uint64_t malformed{0};  ///< lines rejected at parse time
+    std::uint64_t rejected{0};   ///< admission refusals (queue/budget)
+    std::uint64_t admitted{0};   ///< entered the worker queue
+    std::uint64_t served_ok{0};  ///< completed with a valid tree
+    std::uint64_t failed{0};     ///< completed with a typed error
+    std::uint64_t degraded{0};   ///< served_ok but deadline/memory degraded
+    double p50_ms{0.0};
+    double p99_ms{0.0};
+    double mean_ms{0.0};
+    double max_ms{0.0};
+    double peak_rss_mb{0.0};
+};
+
+class ServerStats {
+  public:
+    void count_received() { received_.fetch_add(1, std::memory_order_relaxed); }
+    void count_malformed() { malformed_.fetch_add(1, std::memory_order_relaxed); }
+    void count_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+    void count_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+
+    /// Record a completed request: its end-to-end latency (queue wait
+    /// included) and how it ended.
+    void record_done(double latency_ms, bool ok, bool degraded);
+
+    StatsSnapshot snapshot() const;
+
+  private:
+    static constexpr std::size_t kWindow = 65536;
+
+    std::atomic<std::uint64_t> received_{0};
+    std::atomic<std::uint64_t> malformed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> served_ok_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> degraded_{0};
+
+    mutable std::mutex mu_;
+    std::vector<double> window_;      // ring of the newest kWindow latencies
+    std::size_t window_next_{0};
+    double latency_sum_ms_{0.0};
+    std::uint64_t latency_count_{0};
+    double max_ms_{0.0};
+};
+
+/// Process peak resident set [MB] (getrusage), the same measurement
+/// the bench harness reports.
+double peak_rss_mb();
+
+}  // namespace ctsim::serve
+
+#endif  // CTSIM_SERVE_STATS_H

@@ -1,0 +1,163 @@
+// Cache-path hygiene and first-touch serialization.
+//
+// Two regressions pinned here:
+//  * *.cache files used to land in the CWD whenever CTSIM_CACHE_DIR
+//    was unset (a bare-filename default), littering the source tree
+//    when tests ran from the repo root -- resolve_cache_path must
+//    NEVER resolve a relative path to the bare CWD;
+//  * two threads racing load_or_characterize on a cold cache both
+//    paid the (seconds-long) characterization and both published --
+//    load_or_characterize_shared must serialize first touch per cache
+//    key so the work happens exactly once.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "cts_test_util.h"
+#include "delaylib/fitted_library.h"
+
+namespace ctsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped environment override (tests must not leak env mutations
+/// into each other -- ctest sets CTSIM_CACHE_DIR for the whole run).
+class ScopedEnv {
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value) setenv(name, value, 1);
+        else unsetenv(name);
+    }
+    ~ScopedEnv() {
+        if (had_old_) setenv(name_.c_str(), old_.c_str(), 1);
+        else unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_old_{false};
+};
+
+fs::path make_temp_dir(const char* tag) {
+    std::string tmpl = (fs::temp_directory_path() / tag).string() + ".XXXXXX";
+    char* made = mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    return fs::path(made);
+}
+
+/// *.cache files in the CWD. The CWD may legitimately contain caches
+/// already (ctest runs with CTSIM_CACHE_DIR = the build dir, which is
+/// also its working directory), so hygiene is asserted as "the
+/// round-trip ADDS nothing here", not "nothing is here".
+std::set<std::string> cwd_cache_files() {
+    std::set<std::string> out;
+    for (const auto& e : fs::directory_iterator(fs::current_path()))
+        if (e.path().extension() == ".cache") out.insert(e.path().filename().string());
+    return out;
+}
+
+TEST(CachePathTest, AbsolutePathIsVerbatim) {
+    EXPECT_EQ(delaylib::FittedLibrary::resolve_cache_path("/abs/lib.cache"),
+              "/abs/lib.cache");
+}
+
+TEST(CachePathTest, CacheDirEnvPrefixesRelativePaths) {
+    ScopedEnv env("CTSIM_CACHE_DIR", "/some/cache/dir");
+    EXPECT_EQ(delaylib::FittedLibrary::resolve_cache_path("lib.cache"),
+              "/some/cache/dir/lib.cache");
+}
+
+TEST(CachePathTest, RelativePathNeverResolvesToBareCwd) {
+    // The pollution bug: with no CTSIM_CACHE_DIR a bare filename used
+    // to come back unchanged, i.e. "wherever the process started".
+    // Now it must resolve into SOME directory (XDG/HOME cache or the
+    // /tmp fallback) -- concretely, the result must not be the input.
+    ScopedEnv env("CTSIM_CACHE_DIR", nullptr);
+    const std::string resolved =
+        delaylib::FittedLibrary::resolve_cache_path("lib.cache");
+    EXPECT_NE(resolved, "lib.cache");
+    EXPECT_EQ(resolved.front(), '/') << resolved;
+    EXPECT_NE(fs::path(resolved).parent_path(), fs::current_path()) << resolved;
+}
+
+TEST(CachePathTest, XdgCacheHomeIsHonored) {
+    ScopedEnv no_dir("CTSIM_CACHE_DIR", nullptr);
+    ScopedEnv xdg("XDG_CACHE_HOME", "/xdg/cache");
+    EXPECT_EQ(delaylib::FittedLibrary::resolve_cache_path("lib.cache"),
+              "/xdg/cache/ctsim/lib.cache");
+}
+
+TEST(CacheHygieneTest, CharacterizationRoundTripLeavesCwdClean) {
+    const fs::path dir = make_temp_dir("ctsim_hygiene");
+    ScopedEnv env("CTSIM_CACHE_DIR", dir.c_str());
+    const std::set<std::string> before = cwd_cache_files();
+
+    delaylib::FitOptions opt;
+    opt.grid = delaylib::SweepGrid::quick();
+    opt.single_degree = 3;
+    opt.branch_degree = 2;
+    // Cold characterize + save, then a warm load -- the full cache
+    // round-trip a tool triggers.
+    auto cold = delaylib::FittedLibrary::load_or_characterize(
+        "hygiene_roundtrip.cache", testutil::tek(), testutil::buflib(), opt);
+    util::Status cache_status;
+    auto warm = delaylib::FittedLibrary::load_or_characterize(
+        "hygiene_roundtrip.cache", testutil::tek(), testutil::buflib(), opt,
+        &cache_status);
+    EXPECT_TRUE(cache_status.ok()) << cache_status.to_string();
+
+    EXPECT_TRUE(fs::exists(dir / "hygiene_roundtrip.cache"))
+        << "cache did not land in CTSIM_CACHE_DIR";
+    EXPECT_EQ(cwd_cache_files(), before)
+        << "characterization round-trip dropped a *.cache into the CWD";
+    fs::remove_all(dir);
+}
+
+TEST(CacheOnceLatchTest, TwoThreadColdStartCharacterizesOnce) {
+    const fs::path dir = make_temp_dir("ctsim_once");
+    ScopedEnv env("CTSIM_CACHE_DIR", dir.c_str());
+
+    delaylib::FitOptions opt;
+    opt.grid = delaylib::SweepGrid::quick();
+    opt.single_degree = 3;
+    opt.branch_degree = 2;
+
+    const std::uint64_t before = delaylib::FittedLibrary::characterization_count();
+    std::shared_ptr<const delaylib::FittedLibrary> a, b;
+    std::thread t1([&] {
+        a = delaylib::FittedLibrary::load_or_characterize_shared(
+            "once_cold.cache", testutil::tek(), testutil::buflib(), opt);
+    });
+    std::thread t2([&] {
+        b = delaylib::FittedLibrary::load_or_characterize_shared(
+            "once_cold.cache", testutil::tek(), testutil::buflib(), opt);
+    });
+    t1.join();
+    t2.join();
+
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "racers must share ONE fitted library";
+    EXPECT_EQ(delaylib::FittedLibrary::characterization_count() - before, 1u)
+        << "cold-start race paid characterization more than once";
+
+    // A later call finds the latched instance, not even a cache load.
+    auto c = delaylib::FittedLibrary::load_or_characterize_shared(
+        "once_cold.cache", testutil::tek(), testutil::buflib(), opt);
+    EXPECT_EQ(c.get(), a.get());
+    EXPECT_EQ(delaylib::FittedLibrary::characterization_count() - before, 1u);
+    fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ctsim

@@ -1,0 +1,115 @@
+// Fault-injection sweep INSIDE a serving session (`stress` ctest
+// label; both sanitizer CI jobs re-run this set).
+//
+// The robustness contract of a standalone synthesize() call -- every
+// armed-site outcome is either a clean typed error or a valid
+// (possibly degraded) result -- must survive the serving wrapper:
+// worker threads, admission tokens, per-request budgets and response
+// emission. A fault that kills a request must never kill the session,
+// leak its admission token, or corrupt a neighbor's response.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cts_test_util.h"
+#include "serve/json.h"
+#include "serve/session.h"
+#include "util/fault_injection.h"
+
+namespace ctsim {
+namespace {
+
+using serve::Json;
+using serve::ServeSession;
+
+class ServeFaultSweepTest : public ::testing::Test {
+  protected:
+    void TearDown() override { util::FaultInjector::instance().disarm_all(); }
+};
+
+TEST_F(ServeFaultSweepTest, ArmedSitesNeverKillTheSession) {
+    // The sites a single-threaded serving request can reach (requests
+    // are pinned to one worker, so the dag_* sites stay cold).
+    const util::FaultSite sites[] = {
+        util::FaultSite::maze_route_infeasible,
+        util::FaultSite::tree_alloc_fail,
+        util::FaultSite::engine_notify_conservative,
+    };
+    const std::uint64_t seeds[] = {1, 7, 42};
+
+    ServeSession::Config cfg;
+    cfg.workers = 2;
+    cfg.model = &testutil::fitted_quick();
+    ServeSession session(cfg);
+
+    std::uint64_t expect_done = 0;
+    for (const util::FaultSite site : sites) {
+        for (const std::uint64_t seed : seeds) {
+            util::FaultInjector::instance().disarm_all();
+            util::FaultInjector::instance().arm(site, seed, 0.02);
+
+            std::mutex mu;
+            std::vector<std::string> lines;
+            const auto emit = [&](const std::string& l) {
+                std::lock_guard<std::mutex> lock(mu);
+                lines.push_back(l);
+            };
+            for (int i = 0; i < 4; ++i) {
+                const std::string req =
+                    "{\"id\":" + std::to_string(i) + ",\"synthetic\":{\"sinks\":" +
+                    std::to_string(60 + 20 * i) +
+                    ",\"span_um\":5000,\"seed\":" + std::to_string(i + 1) + "}}";
+                ASSERT_TRUE(session.handle_line(req, emit))
+                    << util::fault_site_name(site) << " seed " << seed;
+            }
+            session.drain();
+            expect_done += 4;
+
+            ASSERT_EQ(lines.size(), 4u)
+                << util::fault_site_name(site) << " seed " << seed
+                << ": a request vanished without a response";
+            for (const std::string& l : lines) {
+                const Json r = Json::parse(l);
+                if (r.find("ok")->as_bool()) {
+                    // A valid (possibly degraded) tree.
+                    EXPECT_GT(r.find("result")->find("nodes")->as_number(), 0.0);
+                } else {
+                    // A clean typed error from the taxonomy.
+                    const std::string code =
+                        r.find("error")->find("code")->as_string();
+                    EXPECT_TRUE(code == "infeasible_route" ||
+                                code == "resource_exhaustion" ||
+                                code == "internal")
+                        << util::fault_site_name(site) << " seed " << seed
+                        << " produced error code " << code;
+                }
+            }
+        }
+    }
+    util::FaultInjector::instance().disarm_all();
+
+    // No leaked admission tokens: everything that was admitted also
+    // completed, and the server keeps serving after the whole sweep.
+    const serve::StatsSnapshot s = session.stats();
+    EXPECT_EQ(s.admitted, expect_done);
+    EXPECT_EQ(s.served_ok + s.failed, expect_done);
+    EXPECT_EQ(s.rejected, 0u);
+
+    std::mutex mu;
+    std::vector<std::string> lines;
+    session.handle_line(
+        R"({"id":"after","synthetic":{"sinks":50,"span_um":4000,"seed":9}})",
+        [&](const std::string& l) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines.push_back(l);
+        });
+    session.drain();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(Json::parse(lines[0]).find("ok")->as_bool())
+        << "session did not recover after the fault sweep";
+}
+
+}  // namespace
+}  // namespace ctsim

@@ -35,7 +35,25 @@ and every mode additionally gets an AGGREGATE check over the summed
 normalized time of all its instances, which is noise-robust and
 covers the fast instances the per-instance floor skips.
 
+An optional second pair of arguments gates BENCH_serve.json (the
+serving throughput harness):
+
+  * a missing, empty or malformed serve BASELINE is flagged with a
+    note and the serve gate skipped (baselines predate the harness;
+    the guard must not block the PR that introduces it) -- but a
+    missing/malformed FRESH serve file is a usage error: the harness
+    was supposed to have just produced it;
+  * the fresh run must report zero failed and zero rejected requests
+    and all_identical=true (the burst is sized to never saturate, so
+    any of these is a serving bug, not a perf question);
+  * throughput is only compared worker-count against worker-count and
+    NORMALIZED by the same run's 1-worker throughput (raw req/s is
+    machine speed; the scaling shape is the algorithm). Worker counts
+    present in only one file (different nproc) are skipped with a
+    note.
+
 usage: check_bench_regression.py <fresh.json> <baseline.json>
+           [<serve_fresh.json> <serve_baseline.json>]
 """
 
 import json
@@ -56,8 +74,72 @@ def mode_keys(inst):
     return [k for k, v in inst.items() if isinstance(v, dict) and "seconds" in v]
 
 
+SERVE_SCALING_REGRESSION = 1.15
+
+
+def check_serve(fresh_path, base_path, failures):
+    """Gate the serving harness pair. Returns checks performed, or a
+    negative value for a usage error (malformed FRESH file)."""
+    try:
+        fresh = json.load(open(fresh_path))
+        if not isinstance(fresh, dict):
+            raise ValueError("top-level value is not an object")
+    except (OSError, ValueError) as exc:
+        # The fresh file is produced by the run being gated; its
+        # absence or corruption is a harness failure, not a skip.
+        print(f"error: cannot load fresh serve JSON: {exc}")
+        return -1
+    checked = 0
+
+    # Correctness gates on the fresh run stand alone -- they need no
+    # baseline, and they are the serving contract, not a perf trend.
+    checked += 1
+    for run in fresh.get("workers", []):
+        if run.get("failed", 0) or run.get("rejected", 0):
+            failures.append(
+                f"serve/workers={run.get('workers')}: {run.get('failed', 0)} "
+                f"failed, {run.get('rejected', 0)} rejected (burst is sized to "
+                f"never saturate; a shared-pool serving bug)")
+    if not fresh.get("all_identical", False):
+        failures.append("serve: responses not bit-identical across worker counts")
+
+    try:
+        base = json.load(open(base_path))
+        if not isinstance(base, dict) or not base.get("workers"):
+            raise ValueError("no worker runs in baseline")
+    except (OSError, ValueError) as exc:
+        # Baselines committed before the serve harness existed (or an
+        # intentionally empty placeholder) must not block the gate --
+        # but the skip is flagged so it can be audited.
+        print(f"note: serve baseline unusable ({exc}); scaling gate skipped")
+        return checked
+
+    def normalized(doc):
+        runs = {r.get("workers"): r.get("requests_per_s", 0.0)
+                for r in doc.get("workers", [])}
+        one = runs.get(1, 0.0)
+        if one <= 0:
+            return {}
+        return {w: rps / one for w, rps in runs.items() if w != 1 and rps > 0}
+
+    fnorm, bnorm = normalized(fresh), normalized(base)
+    for w in sorted(bnorm):
+        if w not in fnorm:
+            print(f"note: serve worker count {w} missing from fresh run "
+                  f"(different nproc?), skipped")
+            continue
+        checked += 1
+        if fnorm[w] < bnorm[w] / SERVE_SCALING_REGRESSION:
+            failures.append(
+                f"serve/workers={w}: scaling vs 1 worker {bnorm[w]:.2f}x -> "
+                f"{fnorm[w]:.2f}x "
+                f"(-{100.0 * (1.0 - fnorm[w] / bnorm[w]):.1f}% > "
+                f"{100.0 * (SERVE_SCALING_REGRESSION - 1.0):.0f}%)")
+    return checked
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 5):
         print(__doc__)
         return 2
     try:
@@ -71,6 +153,11 @@ def main():
 
     failures = []
     checked = 0
+    if len(sys.argv) == 5:
+        serve_checked = check_serve(sys.argv[3], sys.argv[4], failures)
+        if serve_checked < 0:
+            return 2
+        checked += serve_checked
     agg = {}  # mode -> [fresh_norm_sum, base_norm_sum]
     for name, b in base.items():
         f = fresh.get(name)

@@ -63,7 +63,9 @@ void usage() {
         "  --library FILE      delay library cache (default ctsim_delaylib_45nm.cache)\n"
         "  --cache-dir DIR     directory for relative cache files (also honors the\n"
         "                      CTSIM_CACHE_DIR environment variable; without either,\n"
-        "                      the cache lands in the current directory)\n"
+        "                      the cache lands in the per-user cache directory --\n"
+        "                      $XDG_CACHE_HOME/ctsim or ~/.cache/ctsim -- never the\n"
+        "                      current directory)\n"
         "  --spice FILE        export the verified netlist as a SPICE deck\n"
         "  --quiet             only print the summary line\n");
 }

@@ -1,0 +1,189 @@
+// ctsimd: long-lived multi-tenant synthesis daemon (docs/serving.md).
+//
+// Reads JSON-lines synthesis requests from stdin (default) or a
+// unix-domain socket and serves them concurrently off one shared
+// worker pool with admission control; one response line per request,
+// in completion order (correlate by "id").
+//
+//   echo '{"id":1,"bench":"r1"}' | ctsimd --workers 2
+//   ctsimd --socket /tmp/ctsim.sock --workers 0 &
+//
+// Exit status: 0 clean shutdown (EOF or a "shutdown" request),
+// 2 usage error, 6 socket setup failure.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "delaylib/characterizer.h"
+#include "serve/session.h"
+
+namespace {
+
+void usage() {
+    std::printf(
+        "usage: ctsimd [options]\n"
+        "transport (one of):\n"
+        "  (default)           read requests from stdin, respond on stdout\n"
+        "  --socket PATH       listen on a unix-domain socket; each connection\n"
+        "                      is a JSON-lines request stream\n"
+        "options:\n"
+        "  --workers N         worker threads (0 = one per hardware thread;\n"
+        "                      default 1)\n"
+        "  --queue N           admission queue depth; a full queue REJECTS with\n"
+        "                      a typed resource_exhaustion error (default 64)\n"
+        "  --memory-budget-mb MB  server-wide admission budget; 0 = unlimited\n"
+        "                      (default 0)\n"
+        "  --request-token-mb MB  admission charge per in-flight request\n"
+        "                      (default 64)\n"
+        "  --library FILE      delay library cache (default\n"
+        "                      ctsim_delaylib_45nm.cache)\n"
+        "  --cache-dir DIR     directory for relative cache files (also honors\n"
+        "                      CTSIM_CACHE_DIR; without either a per-user cache\n"
+        "                      directory is used -- never the CWD)\n"
+        "  --fit-quick         characterize on the quick sweep grid (fast\n"
+        "                      startup for smokes and sanitizer runs; lower\n"
+        "                      fit fidelity than the default grid)\n"
+        "protocol: one JSON object per line; see docs/serving.md.\n");
+}
+
+/// Serve one JSON-lines stream from `in`, emitting through `emit`.
+/// Returns false when a shutdown request ended the session.
+bool serve_stream(ctsim::serve::ServeSession& session, std::FILE* in,
+                  const ctsim::serve::ServeSession::Emit& emit) {
+    std::string line;
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+        if (c == '\n') {
+            if (!session.handle_line(line, emit)) return false;
+            line.clear();
+        } else {
+            line.push_back(static_cast<char>(c));
+        }
+    }
+    if (!line.empty() && !session.handle_line(line, emit)) return false;
+    return true;
+}
+
+int serve_socket(ctsim::serve::ServeSession& session, const std::string& path) {
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::perror("ctsimd: socket");
+        return 6;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "ctsimd: socket path too long: %s\n", path.c_str());
+        ::close(listener);
+        return 2;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listener, 16) < 0) {
+        std::perror("ctsimd: bind/listen");
+        ::close(listener);
+        return 6;
+    }
+    std::fprintf(stderr, "ctsimd: listening on %s\n", path.c_str());
+
+    // One reader thread per connection; they all feed the ONE shared
+    // session (pool, budget, stats). A shutdown request on any
+    // connection stops the accept loop.
+    std::vector<std::thread> readers;
+    std::atomic<bool> shutting_down{false};
+    while (!shutting_down.load(std::memory_order_relaxed)) {
+        const int conn = ::accept(listener, nullptr, nullptr);
+        if (conn < 0) break;
+        readers.emplace_back([&session, &shutting_down, conn, listener] {
+            std::FILE* in = ::fdopen(conn, "r");
+            if (in == nullptr) {
+                ::close(conn);
+                return;
+            }
+            const auto emit = [conn](const std::string& line) {
+                std::string out = line;
+                out.push_back('\n');
+                // Best effort: a client that hung up loses its
+                // responses, nobody else's.
+                (void)!::write(conn, out.data(), out.size());
+            };
+            if (!serve_stream(session, in, emit)) {
+                shutting_down.store(true, std::memory_order_relaxed);
+                ::shutdown(listener, SHUT_RDWR);  // unblock accept()
+            }
+            std::fclose(in);  // closes conn
+        });
+    }
+    for (std::thread& t : readers) t.join();
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ctsim;
+    serve::ServeSession::Config cfg;
+    std::string socket_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--workers") cfg.workers = std::atoi(next());
+        else if (a == "--queue") cfg.queue_capacity = std::atoi(next());
+        else if (a == "--memory-budget-mb") cfg.memory_budget_mb = std::atof(next());
+        else if (a == "--request-token-mb") cfg.request_token_mb = std::atof(next());
+        else if (a == "--library") cfg.library_path = next();
+        else if (a == "--cache-dir") setenv("CTSIM_CACHE_DIR", next(), 1);
+        else if (a == "--fit-quick") {
+            cfg.fit.grid = delaylib::SweepGrid::quick();
+            cfg.fit.single_degree = 3;
+            cfg.fit.branch_degree = 2;
+            if (cfg.library_path == "ctsim_delaylib_45nm.cache")
+                cfg.library_path = "ctsim_delaylib_quick.cache";
+        } else if (a == "--socket") socket_path = next();
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (cfg.workers < 0 || cfg.queue_capacity < 1) {
+        std::fprintf(stderr, "ctsimd: --workers must be >= 0, --queue >= 1\n");
+        return 2;
+    }
+
+    serve::ServeSession session(cfg);
+    std::fprintf(stderr, "ctsimd: serving with %d worker(s), queue %d\n",
+                 session.workers(), cfg.queue_capacity);
+
+    if (!socket_path.empty()) return serve_socket(session, socket_path);
+
+    const auto emit = [](const std::string& line) {
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);  // clients pipeline; don't sit on responses
+    };
+    serve_stream(session, stdin, emit);
+    session.drain();
+    return 0;
+}

@@ -198,6 +198,125 @@ def test_malformed_json_is_a_usage_error():
     base = {"instances": [make_instance("a")]}
     rc, out = run_guard(None, base, raw_fresh="{not json")
     assert rc == 2, out
+
+
+# --- serve harness gate (optional second argument pair) ---------------------
+
+def make_serve(worker_rps, failed=0, rejected=0, identical=True):
+    return {"benchmark": "ctsim_serve", "nproc": 4,
+            "workers": [{"workers": w, "requests_per_s": rps,
+                         "p50_ms": 10.0, "p99_ms": 20.0,
+                         "served_ok": 48, "failed": failed,
+                         "rejected": rejected, "degraded": 0}
+                        for w, rps in worker_rps],
+            "all_identical": identical}
+
+
+def run_guard_with_serve(serve_fresh, serve_base, raw_serve_base=None,
+                         serve_base_missing=False):
+    doc = {"instances": [make_instance("a")]}
+    with tempfile.TemporaryDirectory() as td:
+        paths = {n: os.path.join(td, n + ".json")
+                 for n in ("fresh", "base", "sfresh", "sbase")}
+        with open(paths["fresh"], "w") as f:
+            json.dump(doc, f)
+        with open(paths["base"], "w") as f:
+            json.dump(doc, f)
+        with open(paths["sfresh"], "w") as f:
+            json.dump(serve_fresh, f)
+        if not serve_base_missing:
+            with open(paths["sbase"], "w") as f:
+                f.write(raw_serve_base if raw_serve_base is not None
+                        else json.dumps(serve_base))
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, paths["fresh"], paths["base"],
+             paths["sfresh"], paths["sbase"]],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def test_serve_identical_runs_pass():
+    doc = make_serve([(1, 10.0), (2, 18.0), (4, 32.0)])
+    rc, out = run_guard_with_serve(doc, doc)
+    assert rc == 0, out
+
+
+def test_serve_missing_baseline_is_noted_and_skipped():
+    # The PR that introduces the serve harness has no committed
+    # baseline yet; the guard must flag the skip, not crash or fail.
+    fresh = make_serve([(1, 10.0), (2, 18.0)])
+    rc, out = run_guard_with_serve(fresh, None, serve_base_missing=True)
+    assert rc == 0, out
+    assert "serve baseline unusable" in out
+    assert "Traceback" not in out
+
+
+def test_serve_empty_baseline_is_noted_and_skipped():
+    fresh = make_serve([(1, 10.0), (2, 18.0)])
+    rc, out = run_guard_with_serve(fresh, {})
+    assert rc == 0, out
+    assert "serve baseline unusable" in out
+
+
+def test_serve_malformed_baseline_is_noted_and_skipped():
+    fresh = make_serve([(1, 10.0), (2, 18.0)])
+    rc, out = run_guard_with_serve(fresh, None, raw_serve_base="{not json")
+    assert rc == 0, out
+    assert "serve baseline unusable" in out
+    assert "Traceback" not in out
+
+
+def test_serve_fresh_failures_fail_even_without_baseline():
+    fresh = make_serve([(1, 10.0), (2, 18.0)], failed=2)
+    rc, out = run_guard_with_serve(fresh, None, serve_base_missing=True)
+    assert rc == 1, out
+    assert "failed" in out
+
+
+def test_serve_fresh_rejections_fail():
+    fresh = make_serve([(1, 10.0), (2, 18.0)], rejected=1)
+    rc, out = run_guard_with_serve(fresh, fresh)
+    assert rc == 1, out
+    assert "rejected" in out
+
+
+def test_serve_identity_violation_fails():
+    fresh = make_serve([(1, 10.0), (2, 18.0)], identical=False)
+    rc, out = run_guard_with_serve(fresh, fresh)
+    assert rc == 1, out
+    assert "bit-identical" in out
+
+
+def test_serve_scaling_regression_fails():
+    base = make_serve([(1, 10.0), (4, 32.0)])   # 3.2x at 4 workers
+    fresh = make_serve([(1, 10.0), (4, 25.0)])  # 2.5x: -22% > 15%
+    rc, out = run_guard_with_serve(fresh, base)
+    assert rc == 1, out
+    assert "scaling" in out
+
+
+def test_serve_scaling_is_normalized_against_machine_speed():
+    base = make_serve([(1, 10.0), (4, 32.0)])
+    # A 2x slower machine with the same scaling SHAPE must pass.
+    fresh = make_serve([(1, 5.0), (4, 16.0)])
+    rc, out = run_guard_with_serve(fresh, base)
+    assert rc == 0, out
+
+
+def test_serve_mismatched_worker_counts_are_skipped():
+    # Baseline from an 8-core box, fresh from a 4-core box: the
+    # 8-worker row has no counterpart and must be skipped, not failed.
+    base = make_serve([(1, 10.0), (8, 60.0)])
+    fresh = make_serve([(1, 10.0), (4, 32.0)])
+    rc, out = run_guard_with_serve(fresh, base)
+    assert rc == 0, out
+    assert "skipped" in out
+
+
+def test_serve_malformed_fresh_is_a_usage_error():
+    rc, out = run_guard_with_serve(None, make_serve([(1, 10.0)]))
+    assert rc == 2, out
+    assert "cannot load fresh serve" in out
     assert "cannot load" in out
 
 
