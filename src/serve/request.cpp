@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 
 #include "bench_io/parsers.h"
 #include "bench_io/synthetic.h"
@@ -30,6 +31,15 @@ double finite_nonneg(const Json& v, const char* what) {
     return d;
 }
 
+unsigned seed_value(const Json& v, const char* what) {
+    const double d = finite_nonneg(v, what);
+    // An out-of-range double-to-unsigned cast is UB, not a wrap.
+    if (d > static_cast<double>(std::numeric_limits<unsigned>::max()) ||
+        d != std::floor(d))
+        bad(std::string(what) + " must be an integer in [0, 2^32)");
+    return static_cast<unsigned>(d);
+}
+
 /// The per-request options overlay. Every key maps to one
 /// SynthesisOptions field; anything unrecognized is a typed error so
 /// a typo'd knob can't silently run with defaults.
@@ -45,7 +55,7 @@ void apply_options(const Json& obj, cts::SynthesisOptions& opt) {
             if (d < 4 || d > 4096) bad("options.grid_cells_per_dim out of range [4, 4096]");
             opt.grid_cells_per_dim = static_cast<int>(d);
         } else if (key == "rng_seed") {
-            opt.rng_seed = static_cast<unsigned>(finite_nonneg(v, "options.rng_seed"));
+            opt.rng_seed = seed_value(v, "options.rng_seed");
         } else if (key == "hstructure") {
             const std::string& s = v.is_string() ? v.as_string() : "";
             if (s == "off") opt.hstructure = cts::HStructureMode::off;
@@ -169,8 +179,7 @@ Request parse_request(const std::string& line) {
                 if (req.synthetic_span_um <= 0.0) bad("synthetic.span_um must be > 0");
             }
             if (const Json* seed = v.find("seed"))
-                req.synthetic_seed =
-                    static_cast<unsigned>(finite_nonneg(*seed, "synthetic.seed"));
+                req.synthetic_seed = seed_value(*seed, "synthetic.seed");
         } else if (key == "sinks") {
             if (!v.is_array()) bad("\"sinks\" must be an array");
             claim_source(SinkSource::inline_);

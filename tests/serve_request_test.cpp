@@ -133,6 +133,19 @@ TEST(ServeRequestTest, TypedErrorsForBadRequests) {
     expect_invalid(R"({"sinks":[[1,2]]})");                     // short tuple
 }
 
+TEST(ServeRequestTest, SeedsMustBeExact32BitIntegers) {
+    // A double-to-unsigned cast outside [0, 2^32) is UB, so the
+    // parser must reject it as a typed error first.
+    expect_invalid(R"({"bench":"r1","options":{"rng_seed":1e18}})");
+    expect_invalid(R"({"bench":"r1","options":{"rng_seed":4294967296}})");
+    expect_invalid(R"({"bench":"r1","options":{"rng_seed":1.5}})");
+    expect_invalid(R"({"synthetic":{"sinks":10,"seed":1e18}})");
+    EXPECT_EQ(serve::parse_request(
+                  R"({"bench":"r1","options":{"rng_seed":4294967295}})")
+                  .options.rng_seed,
+              4294967295u);
+}
+
 TEST(ServeRequestTest, NumThreadsIsNotATenantKnob) {
     // The pool owns parallelism; a tenant asking for threads must get
     // a typed error, not silent acceptance.

@@ -10,10 +10,15 @@
 //
 // Exit status: 0 clean shutdown (EOF or a "shutdown" request),
 // 2 usage error, 6 socket setup failure.
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +58,40 @@ void usage() {
         "                      fit fidelity than the default grid)\n"
         "protocol: one JSON object per line; see docs/serving.md.\n");
 }
+
+/// Owns one connection fd. The reader thread and every in-flight
+/// job's emit lambda share it, so the fd closes only after the last
+/// response for this tenant is written -- never while a queued job
+/// could emit into a recycled fd number serving a different tenant.
+class Conn {
+  public:
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn() { ::close(fd_); }
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    int fd() const { return fd_; }
+
+    /// Write the whole buffer, retrying EINTR and short writes so a
+    /// large response can't truncate mid-line and corrupt the
+    /// JSON-lines framing. MSG_NOSIGNAL: a client that hung up costs
+    /// an EPIPE (it loses its responses, nobody else's), not a
+    /// SIGPIPE that would kill every tenant.
+    void write_all(const char* data, std::size_t n) const {
+        while (n > 0) {
+            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR) continue;
+                return;
+            }
+            data += w;
+            n -= static_cast<std::size_t>(w);
+        }
+    }
+
+  private:
+    int fd_;
+};
 
 /// Serve one JSON-lines stream from `in`, emitting through `emit`.
 /// Returns false when a shutdown request ended the session.
@@ -97,30 +136,55 @@ int serve_socket(ctsim::serve::ServeSession& session, const std::string& path) {
 
     // One reader thread per connection; they all feed the ONE shared
     // session (pool, budget, stats). A shutdown request on any
-    // connection stops the accept loop.
+    // connection stops the accept loop AND shuts down the read side
+    // of every open connection so readers blocked in fgetc() see EOF
+    // and the join loop below actually finishes.
     std::vector<std::thread> readers;
     std::atomic<bool> shutting_down{false};
+    std::mutex conns_mu;
+    std::vector<std::weak_ptr<Conn>> conns;
     while (!shutting_down.load(std::memory_order_relaxed)) {
-        const int conn = ::accept(listener, nullptr, nullptr);
-        if (conn < 0) break;
-        readers.emplace_back([&session, &shutting_down, conn, listener] {
-            std::FILE* in = ::fdopen(conn, "r");
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) break;
+        auto conn = std::make_shared<Conn>(fd);
+        {
+            std::lock_guard<std::mutex> lock(conns_mu);
+            // Raced with a shutdown that already swept the registry:
+            // cut this one off too instead of serving it forever.
+            if (shutting_down.load(std::memory_order_relaxed))
+                ::shutdown(conn->fd(), SHUT_RD);
+            conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                       [](const std::weak_ptr<Conn>& w) {
+                                           return w.expired();
+                                       }),
+                        conns.end());
+            conns.push_back(conn);
+        }
+        readers.emplace_back([&session, &shutting_down, &conns_mu, &conns, conn,
+                              listener] {
+            // Read through a dup'd descriptor: fclose() below releases
+            // only the reader's reference, while `conn` keeps the
+            // socket open until the last in-flight job has emitted.
+            const int rd = ::dup(conn->fd());
+            std::FILE* in = rd >= 0 ? ::fdopen(rd, "r") : nullptr;
             if (in == nullptr) {
-                ::close(conn);
+                if (rd >= 0) ::close(rd);
                 return;
             }
             const auto emit = [conn](const std::string& line) {
                 std::string out = line;
                 out.push_back('\n');
-                // Best effort: a client that hung up loses its
-                // responses, nobody else's.
-                (void)!::write(conn, out.data(), out.size());
+                conn->write_all(out.data(), out.size());
             };
             if (!serve_stream(session, in, emit)) {
                 shutting_down.store(true, std::memory_order_relaxed);
                 ::shutdown(listener, SHUT_RDWR);  // unblock accept()
+                std::lock_guard<std::mutex> lock(conns_mu);
+                for (const std::weak_ptr<Conn>& w : conns)
+                    if (const std::shared_ptr<Conn> c = w.lock())
+                        ::shutdown(c->fd(), SHUT_RD);
             }
-            std::fclose(in);  // closes conn
+            std::fclose(in);
         });
     }
     for (std::thread& t : readers) t.join();
@@ -133,6 +197,9 @@ int serve_socket(ctsim::serve::ServeSession& session, const std::string& path) {
 
 int main(int argc, char** argv) {
     using namespace ctsim;
+    // A client that disconnects mid-response must cost a failed write,
+    // not a SIGPIPE that terminates every tenant's daemon.
+    std::signal(SIGPIPE, SIG_IGN);
     serve::ServeSession::Config cfg;
     std::string socket_path;
 
