@@ -48,7 +48,7 @@ double skew_of(const RootTiming& t) { return t.max_ps - t.min_ps; }
 std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureContext ctx,
                                      const delaylib::DelayModel& model,
                                      const SynthesisOptions& opt, HStructureStats& stats,
-                                     IncrementalTiming* engine) {
+                                     IncrementalTiming* engine, const SynthesisContext* sctx) {
     if (opt.hstructure == HStructureMode::off) return {u, v};
     const auto ru = ctx.records->find(u);
     const auto rv = ctx.records->find(v);
@@ -94,9 +94,9 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
         for (int child : {a, b, c, d}) detach(tree, child, engine);
         const auto& q = pairings[best];
         const MergeRecord m1 =
-            merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine);
+            merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine, sctx);
         const MergeRecord m2 =
-            merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine);
+            merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine, sctx);
         return commit(m1, m2);
     }
 
@@ -120,10 +120,10 @@ std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureCo
     for (int p = 1; p < 3; ++p) {
         const auto& q = pairings[p];
         Candidate cd;
-        cd.m1 = merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine);
+        cd.m1 = merge_route(tree, q[0], q[1], rt(q[0]), rt(q[1]), model, opt, engine, sctx);
         cd.att[0] = detach(tree, q[0], engine);
         cd.att[1] = detach(tree, q[1], engine);
-        cd.m2 = merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine);
+        cd.m2 = merge_route(tree, q[2], q[3], rt(q[2]), rt(q[3]), model, opt, engine, sctx);
         cd.att[2] = detach(tree, q[2], engine);
         cd.att[3] = detach(tree, q[3], engine);
         cd.score = std::max(skew_of(cd.m1.timing), skew_of(cd.m2.timing));

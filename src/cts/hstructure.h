@@ -44,7 +44,8 @@ struct HStructureContext {
 std::pair<int, int> hstructure_check(ClockTree& tree, int u, int v, HStructureContext ctx,
                                      const delaylib::DelayModel& model,
                                      const SynthesisOptions& opt, HStructureStats& stats,
-                                     IncrementalTiming* engine = nullptr);
+                                     IncrementalTiming* engine = nullptr,
+                                     const SynthesisContext* sctx = nullptr);
 
 }  // namespace ctsim::cts
 

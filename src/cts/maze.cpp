@@ -888,7 +888,8 @@ delaylib::EvalCache& eval_cache_for(const delaylib::DelayModel& model,
 }
 
 MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
-                      const delaylib::DelayModel& model, const SynthesisOptions& opt) {
+                      const delaylib::DelayModel& model, const SynthesisOptions& opt,
+                      const SynthesisContext* ctx) {
     profile::ScopedPhase phase(profile::Phase::maze);
     profile::count_event(profile::Counter::maze_calls);
 
@@ -897,7 +898,7 @@ MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
     geom::RoutingGrid grid = nominal;
 
     delaylib::EvalCache& ec = eval_cache_for(model, opt);
-    MemoryLadder* const ladder = opt.memory_ladder;
+    MemoryLadder* const ladder = ctx != nullptr ? ctx->memory_ladder : nullptr;
     const bool rows_on =
         opt.use_eval_cache && opt.maze_delay_rows && opt.eval_cache_quantum_um > 0.0;
     const DelayRows* rows = rows_on ? &delay_rows_for(ec) : nullptr;

@@ -59,6 +59,7 @@
 #include <optional>
 #include <vector>
 
+#include "cts/context.h"
 #include "cts/options.h"
 #include "delaylib/delay_model.h"
 #include "delaylib/eval_cache.h"
@@ -144,9 +145,12 @@ struct MazeResult {
 
 /// Route two endpoints toward a minimum-|delay difference| meet cell.
 /// Throws util::Error{infeasible_route} when even the full grid holds
-/// no cell both sides can reach within the slew target.
+/// no cell both sides can reach within the slew target. `ctx` carries
+/// the run-local pipeline handles (the memory ladder); null means an
+/// unladdered run.
 MazeResult maze_route(const RouteEndpoint& a, const RouteEndpoint& b,
-                      const delaylib::DelayModel& model, const SynthesisOptions& opt);
+                      const delaylib::DelayModel& model, const SynthesisOptions& opt,
+                      const SynthesisContext* ctx = nullptr);
 
 /// Largest wire run that keeps the end slew at or under `target` when
 /// driven by `dtype` (input slew `assumed`) into `ltype`; used by the

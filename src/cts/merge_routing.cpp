@@ -85,7 +85,8 @@ struct Arm {
 
 MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                         const RootTiming& tb, const delaylib::DelayModel& model,
-                        const SynthesisOptions& opt, IncrementalTiming* engine) {
+                        const SynthesisOptions& opt, IncrementalTiming* engine,
+                        const SynthesisContext* ctx) {
     MergeRecord rec;
     rec.left_root = a;
     rec.right_root = b;
@@ -108,7 +109,7 @@ MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
     // --- Routing stage --------------------------------------------------
     const RouteEndpoint ea = endpoint_for(tree, ra, tra, model, opt);
     const RouteEndpoint eb = endpoint_for(tree, rb, trb, model, opt);
-    const MazeResult mz = maze_route(ea, eb, model, opt);
+    const MazeResult mz = maze_route(ea, eb, model, opt, ctx);
     rec.c2f_fallback = mz.c2f_fallback;
     rec.degraded_route = mz.degraded;
     rec.grid_coarsened = mz.grid_coarsened;

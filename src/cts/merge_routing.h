@@ -39,10 +39,13 @@ struct MergeRecord {
 /// through it and every tree edit is reported via the notification
 /// API; the engine's cached state is the cross-round and cross-level
 /// speedup of the synthesis loop. With `engine == nullptr` each
-/// re-time is a batch subtree analysis (the PR-1 behavior).
+/// re-time is a batch subtree analysis (the PR-1 behavior). `ctx`
+/// carries the run-local pipeline handles (cts/context.h) and is
+/// forwarded into the router; null means an unladdered run.
 MergeRecord merge_route(ClockTree& tree, int a, int b, const RootTiming& ta,
                         const RootTiming& tb, const delaylib::DelayModel& model,
-                        const SynthesisOptions& opt, IncrementalTiming* engine = nullptr);
+                        const SynthesisOptions& opt, IncrementalTiming* engine = nullptr,
+                        const SynthesisContext* ctx = nullptr);
 
 }  // namespace ctsim::cts
 

@@ -10,7 +10,6 @@ class MemoryBudget;
 
 namespace ctsim::cts {
 
-class MemoryLadder;
 class Checkpointer;
 
 /// Phase boundary a checkpoint snapshot describes (cts/checkpoint.h).
@@ -242,9 +241,6 @@ struct SynthesisOptions {
     /// synthesize() call. May be unlimited (limit 0) purely to
     /// measure peak usage.
     util::MemoryBudget* memory_budget{nullptr};
-    /// Run-local ladder handle, installed by synthesize() itself --
-    /// downstream stages read it like `cancel`. Callers leave it null.
-    MemoryLadder* memory_ladder{nullptr};
     /// Crash-safe checkpointing (cts/checkpoint.h): when set,
     /// synthesize() publishes a checksummed snapshot at each phase
     /// boundary (post-merge, post-refine, per reclaim sweep) and, on

@@ -46,9 +46,12 @@ ExtractedMerge extract_merge(const ClockTree& tree, int a, int b, const RootTimi
                              const RootTiming& tb);
 
 /// Route the extracted pair in its private arena (thread-safe with
-/// respect to other extractions; exceptions land in `m.error`).
+/// respect to other extractions; exceptions land in `m.error`). `ctx`
+/// is the run-local pipeline context (cts/context.h) -- the ladder it
+/// carries is internally synchronized, so concurrent routes may share
+/// one.
 void route_extracted(ExtractedMerge& m, const delaylib::DelayModel& model,
-                     const SynthesisOptions& opt);
+                     const SynthesisOptions& opt, const SynthesisContext* ctx = nullptr);
 
 /// Append the private arena's new nodes to `tree`, replay the link
 /// updates on the copied nodes, and return the record with shared-tree

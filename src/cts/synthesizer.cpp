@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "cts/checkpoint.h"
+#include "cts/context.h"
 #include "cts/incremental_timing.h"
 #include "cts/memory_ladder.h"
 #include "cts/parallel_merge.h"
@@ -72,11 +73,12 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
     // Memory plumbing, mirroring the deadline: a bare memory_budget_mb
     // gets a run-local budget; an external budget (possibly unlimited,
     // for peak measurement) overrides it. The ladder is run-local
-    // either way and all downstream stages read opt.memory_ladder.
-    // Declared BEFORE the result so the tree's arena binding never
-    // outlives the ladder inside this function -- and detached from
-    // the result tree before every return, since the result itself
-    // does outlive it.
+    // either way, handed down the pipeline through the
+    // SynthesisContext (cts/context.h) -- never through the options,
+    // which stay exactly what the caller passed. Declared BEFORE the
+    // result so the tree's arena binding never outlives the ladder
+    // inside this function -- and detached from the result tree
+    // before every return, since the result itself does outlive it.
     util::MemoryBudget local_budget(
         opt.memory_budget_mb > 0.0
             ? static_cast<std::uint64_t>(opt.memory_budget_mb * 1024.0 * 1024.0)
@@ -85,12 +87,13 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                                        : opt.memory_budget_mb > 0.0 ? &local_budget
                                                                     : nullptr;
     MemoryLadder ladder(budget);
-    if (budget != nullptr) opt.memory_ladder = &ladder;
+    SynthesisContext ctx;
+    if (budget != nullptr) ctx.memory_ladder = &ladder;
 
     SynthesisResult res;
     SynthesisDiagnostics& diag = res.diagnostics;
     res.source_buffer = resolve_driver_type(opt.source_buffer, model);
-    if (opt.memory_ladder != nullptr) res.tree.set_memory_ladder(opt.memory_ladder);
+    if (ctx.memory_ladder != nullptr) res.tree.set_memory_ladder(ctx.memory_ladder);
 
     const auto finish_robustness = [&] {
         if (budget != nullptr) {
@@ -175,8 +178,8 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
         // boundary. The workers' pooled label grids and scratch die
         // with their threads, and the remaining levels (plus the
         // post-passes, which read the same pointer) run serially.
-        if (pool != nullptr && opt.memory_ladder != nullptr &&
-            opt.memory_ladder->at_least(MemoryRung::serial))
+        if (pool != nullptr && ctx.memory_ladder != nullptr &&
+            ctx.memory_ladder->at_least(MemoryRung::serial))
             pool.reset();
         std::vector<LevelNode> level;
         level.reserve(roots.size());
@@ -192,7 +195,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
         for (auto [u, v] : pairing.pairs) {
             if (opt.hstructure != HStructureMode::off)
                 std::tie(u, v) = hstructure_check(res.tree, u, v, hctx, model, opt,
-                                                  res.hstats, engine.get());
+                                                  res.hstats, engine.get(), &ctx);
             pairs.emplace_back(u, v);
         }
 
@@ -224,7 +227,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                             std::shared_lock<std::shared_mutex> lk(tree_mu);
                             jobs[i] = extract_merge(res.tree, u, v, ta, tb);
                         }
-                        route_extracted(jobs[i], model, opt);
+                        route_extracted(jobs[i], model, opt, &ctx);
                     },
                     [&, i] {
                         MergeRecord rec;
@@ -257,7 +260,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                 jobs.push_back(extract_merge(res.tree, u, v, timing.at(u), timing.at(v)));
             const auto t1 = std::chrono::steady_clock::now();
             pool->parallel_for(static_cast<int>(jobs.size()),
-                               [&](int i) { route_extracted(jobs[i], model, opt); });
+                               [&](int i) { route_extracted(jobs[i], model, opt, &ctx); });
             const auto t2 = std::chrono::steady_clock::now();
             for (const ExtractedMerge& j : jobs) {
                 const MergeRecord rec = commit_extracted(res.tree, j);
@@ -280,7 +283,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
                     eng = per_merge.get();
                 }
                 const MergeRecord rec = merge_route(res.tree, u, v, timing.at(u),
-                                                    timing.at(v), model, opt, eng);
+                                                    timing.at(v), model, opt, eng, &ctx);
                 note_record(rec);
                 records[rec.merge_node] = rec;
                 timing[rec.merge_node] = rec.timing;
@@ -303,7 +306,7 @@ SynthesisResult synthesize(const std::vector<SinkSpec>& sinks,
         // the fresh tree's ladder binding, so re-bind afterwards
         // (charging the adopted nodes).
         res.tree = std::move(resumed.tree);
-        if (opt.memory_ladder != nullptr) res.tree.set_memory_ladder(opt.memory_ladder);
+        if (ctx.memory_ladder != nullptr) res.tree.set_memory_ladder(ctx.memory_ladder);
         res.root = resumed.base.root;
         res.source_buffer = resumed.base.source_buffer;
         res.levels = resumed.base.levels;

@@ -89,6 +89,59 @@ void apply_options(const Json& obj, cts::SynthesisOptions& opt) {
     }
 }
 
+double pct_value(const Json& v, const char* what) {
+    const double d = finite_nonneg(v, what);
+    if (d > 100.0) bad(std::string(what) + " must be in [0, 100]");
+    return d;
+}
+
+/// The scenario-object whitelist (type == "scenario", schema version
+/// 2+). Same rule as the options overlay: anything unrecognized is a
+/// typed error, so a typo'd field can't silently run with defaults.
+void apply_scenario(const Json& obj, cts::ScenarioSpec& spec) {
+    if (!obj.is_object()) bad("\"scenario\" must be an object");
+    bool have_mode = false;
+    for (const auto& [key, v] : obj.members()) {
+        if (key == "mode") {
+            const std::string& s = v.is_string() ? v.as_string() : "";
+            if (s == "nominal") spec.mode = cts::ScenarioMode::nominal;
+            else if (s == "corners") spec.mode = cts::ScenarioMode::corners;
+            else if (s == "monte_carlo") spec.mode = cts::ScenarioMode::monte_carlo;
+            else if (s == "pareto_sweep") spec.mode = cts::ScenarioMode::pareto_sweep;
+            else bad("scenario.mode must be \"nominal\"|\"corners\"|\"monte_carlo\"|"
+                     "\"pareto_sweep\"");
+            have_mode = true;
+        } else if (key == "samples") {
+            const double d = require_number(v, "scenario.samples");
+            if (d < 1 || d > 100000 || d != std::floor(d))
+                bad("scenario.samples must be an integer in [1, 100000]");
+            spec.samples = static_cast<int>(d);
+        } else if (key == "seed") {
+            spec.variation.seed = seed_value(v, "scenario.seed");
+        } else if (key == "wire_r_pct") {
+            spec.variation.wire_r_pct = pct_value(v, "scenario.wire_r_pct");
+        } else if (key == "wire_c_pct") {
+            spec.variation.wire_c_pct = pct_value(v, "scenario.wire_c_pct");
+        } else if (key == "buffer_drive_pct") {
+            spec.variation.buffer_drive_pct = pct_value(v, "scenario.buffer_drive_pct");
+        } else if (key == "skew_target_ps") {
+            spec.skew_target_ps = finite_nonneg(v, "scenario.skew_target_ps");
+        } else if (key == "pareto_tols") {
+            if (!v.is_array()) bad("scenario.pareto_tols must be an array of numbers");
+            if (v.items().size() > 64) bad("scenario.pareto_tols holds at most 64 entries");
+            spec.pareto_tols.clear();
+            for (const Json& t : v.items())
+                spec.pareto_tols.push_back(finite_nonneg(t, "scenario.pareto_tols[]"));
+        } else if (key == "num_threads") {
+            bad("scenario.num_threads is not a per-request knob: the shared pool owns "
+                "parallelism (requests run one-per-worker)");
+        } else {
+            bad("unknown scenario key \"" + key + "\"");
+        }
+    }
+    if (!have_mode) bad("\"scenario\" needs a \"mode\"");
+}
+
 cts::SinkSpec parse_sink(const Json& v, std::size_t index) {
     cts::SinkSpec s;
     const std::string where = "sinks[" + std::to_string(index) + "]";
@@ -129,20 +182,41 @@ Request parse_request(const std::string& line) {
         else bad("\"id\" must be a string or number");
     }
 
+    // Wire-contract version (absent => 1): unknown versions are a
+    // typed error up front, never a silently half-understood request.
+    if (const Json* sv = root.find("schema_version")) {
+        const double d = require_number(*sv, "schema_version");
+        if (d != std::floor(d) || d < kSchemaVersionMin)
+            bad("schema_version must be an integer >= " +
+                std::to_string(kSchemaVersionMin));
+        if (d > kSchemaVersionMax)
+            bad("unsupported schema_version " +
+                std::to_string(static_cast<long long>(d)) + " (this server speaks " +
+                std::to_string(kSchemaVersionMin) + ".." +
+                std::to_string(kSchemaVersionMax) + ")");
+        req.schema_version = static_cast<int>(d);
+    }
+
     std::string type = "synthesize";
     if (const Json* t = root.find("type")) {
         if (!t->is_string()) bad("\"type\" must be a string");
         type = t->as_string();
     }
     if (type == "synthesize") req.type = RequestType::synthesize;
+    else if (type == "scenario") req.type = RequestType::scenario;
     else if (type == "stats") req.type = RequestType::stats;
     else if (type == "shutdown") req.type = RequestType::shutdown;
     else bad("unknown request type \"" + type + "\"");
 
-    if (req.type != RequestType::synthesize) {
+    if (req.type == RequestType::scenario &&
+        req.schema_version < kScenarioSchemaVersion)
+        bad("scenario requests require schema_version >= " +
+            std::to_string(kScenarioSchemaVersion));
+
+    if (req.type == RequestType::stats || req.type == RequestType::shutdown) {
         for (const auto& [key, v] : root.members()) {
             (void)v;
-            if (key != "id" && key != "type")
+            if (key != "id" && key != "type" && key != "schema_version")
                 bad("\"" + key + "\" is not valid on a " + type + " request");
         }
         return req;
@@ -155,9 +229,15 @@ Request parse_request(const std::string& line) {
         req.source = s;
     };
 
+    bool have_scenario = false;
     for (const auto& [key, v] : root.members()) {
-        if (key == "id" || key == "type") {
+        if (key == "id" || key == "type" || key == "schema_version") {
             continue;
+        } else if (key == "scenario") {
+            if (req.type != RequestType::scenario)
+                bad("\"scenario\" is only valid on a scenario request");
+            apply_scenario(v, req.scenario);
+            have_scenario = true;
         } else if (key == "bench") {
             if (!v.is_string()) bad("\"bench\" must be a string");
             claim_source(SinkSource::bench);
@@ -198,8 +278,10 @@ Request parse_request(const std::string& line) {
     }
 
     if (req.source == SinkSource::none)
-        bad("synthesize request needs a sink source "
+        bad(type + " request needs a sink source "
             "(one of bench/synthetic/gsrc/ispd/sinks)");
+    if (req.type == RequestType::scenario && !have_scenario)
+        bad("scenario request needs a \"scenario\" object");
     return req;
 }
 

@@ -18,12 +18,23 @@
 #include <vector>
 
 #include "cts/options.h"
+#include "cts/scenario.h"
 #include "cts/synthesizer.h"
 #include "serve/json.h"
 
 namespace ctsim::serve {
 
-enum class RequestType { synthesize, stats, shutdown };
+enum class RequestType { synthesize, scenario, stats, shutdown };
+
+/// Wire-contract versioning (docs/serving.md): a request may carry
+/// "schema_version"; absent means 1. The session echoes the version
+/// on every response. Versions above the ceiling are rejected with a
+/// typed invalid_input (never silently half-served), and features
+/// introduced at version N (the scenario request type at 2) require
+/// the request to declare at least N.
+inline constexpr int kSchemaVersionMin = 1;
+inline constexpr int kSchemaVersionMax = 2;
+inline constexpr int kScenarioSchemaVersion = 2;
 
 /// Where the request's sinks come from (exactly one per request).
 enum class SinkSource {
@@ -41,6 +52,8 @@ struct Request {
     /// clients can correlate out-of-order completions.
     std::string id_json{"null"};
     RequestType type{RequestType::synthesize};
+    /// Declared wire-contract version (absent => 1), echoed back.
+    int schema_version{1};
 
     SinkSource source{SinkSource::none};
     std::string bench_name;          // source == bench
@@ -53,6 +66,9 @@ struct Request {
     /// Defaults + the request's overlay applied. num_threads is pinned
     /// to 1 by the session, not here.
     cts::SynthesisOptions options;
+    /// type == scenario: the parsed "scenario" object (strict
+    /// whitelist; the session pins its num_threads to 1 too).
+    cts::ScenarioSpec scenario;
     double deadline_ms{0.0};
     double memory_budget_mb{0.0};
 };

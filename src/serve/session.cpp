@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cts/phase_profile.h"
+#include "cts/scenario.h"
 #include "cts/synthesizer.h"
 #include "tech/buffer_lib.h"
 #include "tech/technology.h"
@@ -31,13 +32,18 @@ double ms_since(std::chrono::steady_clock::time_point t0,
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-std::string error_json(const std::string& id_json, const util::Status& st) {
+std::string error_json(const std::string& id_json, const util::Status& st,
+                       int schema_version = 1) {
     std::string out = "{\"id\":" + id_json + ",\"ok\":false,\"error\":{\"code\":";
     out += json_quote(util::status_code_name(st.code()));
     out += ",\"message\":";
     out += json_quote(st.message());
-    out += "}}";
+    out += "},\"schema_version\":" + std::to_string(schema_version) + "}";
     return out;
+}
+
+ReqKind kind_of(const Request& req) {
+    return req.type == RequestType::scenario ? ReqKind::scenario : ReqKind::synthesize;
 }
 
 }  // namespace
@@ -88,18 +94,24 @@ bool ServeSession::handle_line(const std::string& line, const Emit& emit) {
     }
 
     if (req.type == RequestType::stats) {
+        stats_.count_stats_served();
         emit_line(emit, "{\"id\":" + req.id_json + ",\"ok\":true,\"stats\":" + stats_json() +
+                            ",\"schema_version\":" + std::to_string(req.schema_version) +
                             "}");
         return true;
     }
     if (req.type == RequestType::shutdown) {
         drain();
+        stats_.count_stats_served();
         emit_line(emit, "{\"id\":" + req.id_json +
-                            ",\"ok\":true,\"shutdown\":true,\"stats\":" + stats_json() + "}");
+                            ",\"ok\":true,\"shutdown\":true,\"stats\":" + stats_json() +
+                            ",\"schema_version\":" + std::to_string(req.schema_version) +
+                            "}");
         return false;
     }
 
-    stats_.count_received();
+    const ReqKind kind = kind_of(req);
+    stats_.count_received(kind);
     const auto token =
         static_cast<std::uint64_t>(cfg_.request_token_mb * static_cast<double>(kMiB));
     std::string rejection;
@@ -112,7 +124,7 @@ bool ServeSession::handle_line(const std::string& line, const Emit& emit) {
             rejection = "server saturated: admission budget exhausted (" +
                         std::to_string(budget_.limit() / kMiB) + " MB cap); retry later";
         } else {
-            stats_.count_admitted();
+            stats_.count_admitted(kind);
             Job job;
             job.req = std::move(req);
             job.emit = emit;
@@ -123,9 +135,10 @@ bool ServeSession::handle_line(const std::string& line, const Emit& emit) {
         }
     }
     if (!rejection.empty()) {
-        stats_.count_rejected();
+        stats_.count_rejected(kind);
         emit_line(emit, error_json(req.id_json,
-                                   util::Status::resource_exhaustion(rejection)));
+                                   util::Status::resource_exhaustion(rejection),
+                                   req.schema_version));
         return true;
     }
     queue_cv_.notify_one();
@@ -189,6 +202,74 @@ void ServeSession::run_job(Job& job) {
         opt.memory_budget = &request_budget;
 
         cts::profile::ThreadCollector collector;
+
+        if (job.req.type == RequestType::scenario) {
+            // Scenario requests run the declarative entry point. The
+            // sample fan-out is pinned to this worker exactly like
+            // num_threads: concurrency comes from serving many
+            // tenants, and sampling is seed-deterministic, so the
+            // yield curve a tenant gets over the wire is bit-identical
+            // to a standalone run_scenario of the same spec.
+            cts::ScenarioSpec spec = job.req.scenario;
+            spec.num_threads = 1;
+            const cts::ScenarioResult sres = cts::run_scenario(sinks, *model_, opt, spec);
+            const cts::profile::Snapshot prof = collector.snapshot();
+            const auto finished = std::chrono::steady_clock::now();
+            ok = true;
+
+            std::string out = "{\"id\":" + job.req.id_json +
+                              ",\"ok\":true,\"schema_version\":" +
+                              std::to_string(job.req.schema_version) + ",\"scenario\":{";
+            out += "\"mode\":" + json_quote(cts::scenario_mode_name(sres.mode));
+            out += ",\"sinks\":" + std::to_string(sinks.size());
+            out += ",\"nominal\":{\"skew_ps\":" + json_number(sres.nominal_skew_ps);
+            out += ",\"latency_ps\":" + json_number(sres.nominal_latency_ps);
+            out += ",\"wirelength_um\":" + json_number(sres.nominal_wirelength_um);
+            out += ",\"buffers\":" + std::to_string(sres.buffers);
+            out += ",\"levels\":" + std::to_string(sres.levels);
+            out += "},\"skew_target_ps\":" + json_number(spec.skew_target_ps);
+            out += ",\"yield_at_target\":" + json_number(sres.yield_at_target);
+            out += ",\"yield_curve_skew_ps\":[";
+            for (std::size_t i = 0; i < sres.yield_curve_skew_ps.size(); ++i) {
+                if (i) out += ',';
+                out += json_number(sres.yield_curve_skew_ps[i]);
+            }
+            out += "],\"samples\":[";
+            for (std::size_t i = 0; i < sres.samples.size(); ++i) {
+                const cts::ScenarioSample& s = sres.samples[i];
+                if (i) out += ',';
+                out += "{\"index\":" + std::to_string(s.index);
+                out += ",\"skew_ps\":" + json_number(s.skew_ps);
+                out += ",\"latency_ps\":" + json_number(s.latency_ps);
+                out += ",\"scale_wire_r\":" + json_number(s.scale_wire_r);
+                out += ",\"scale_wire_c\":" + json_number(s.scale_wire_c);
+                out += ",\"scale_buffer_drive\":" + json_number(s.scale_buffer_drive);
+                out += "}";
+            }
+            out += "],\"pareto\":[";
+            for (std::size_t i = 0; i < sres.pareto.size(); ++i) {
+                const cts::ParetoPoint& p = sres.pareto[i];
+                if (i) out += ',';
+                out += "{\"reclaim_tol_ps\":" + json_number(p.reclaim_tol_ps);
+                out += ",\"skew_ps\":" + json_number(p.skew_ps);
+                out += ",\"wirelength_um\":" + json_number(p.wirelength_um);
+                out += ",\"on_frontier\":" + std::string(p.on_frontier ? "true" : "false");
+                out += "}";
+            }
+            out += "]},\"profile\":{";
+            out += "\"maze_s\":" + json_number(prof.maze_s);
+            out += ",\"timing_s\":" + json_number(prof.timing_s);
+            out += ",\"maze_calls\":" + std::to_string(prof.maze_calls);
+            out += "},\"queue_ms\":" + json_number(queue_ms);
+            out += ",\"latency_ms\":" + json_number(ms_since(job.enqueued, finished));
+            out += "}";
+            response = std::move(out);
+            emit_line(job.emit, response);
+            stats_.record_done(ms_since(job.enqueued, std::chrono::steady_clock::now()),
+                               ok, degraded, ReqKind::scenario);
+            return;
+        }
+
         cts::SynthesisResult res = cts::synthesize(sinks, *model_, opt);
         const cts::profile::Snapshot prof = collector.snapshot();
 
@@ -197,7 +278,9 @@ void ServeSession::run_job(Job& job) {
         ok = true;
         degraded = d.deadline_hit || d.memory_rung != cts::MemoryRung::none;
 
-        std::string out = "{\"id\":" + job.req.id_json + ",\"ok\":true,\"result\":{";
+        std::string out = "{\"id\":" + job.req.id_json +
+                          ",\"ok\":true,\"schema_version\":" +
+                          std::to_string(job.req.schema_version) + ",\"result\":{";
         out += "\"skew_ps\":" + json_number(res.root_timing.max_ps - res.root_timing.min_ps);
         out += ",\"latency_ps\":" + json_number(res.root_timing.max_ps);
         out += ",\"wirelength_um\":" + json_number(res.wire_length_um);
@@ -229,14 +312,15 @@ void ServeSession::run_job(Job& job) {
         out += "}";
         response = std::move(out);
     } catch (const util::Error& e) {
-        response = error_json(job.req.id_json, e.status());
+        response = error_json(job.req.id_json, e.status(), job.req.schema_version);
     } catch (const std::exception& e) {
-        response = error_json(job.req.id_json, util::Status::internal(e.what()));
+        response = error_json(job.req.id_json, util::Status::internal(e.what()),
+                              job.req.schema_version);
     }
 
     emit_line(job.emit, response);
     stats_.record_done(ms_since(job.enqueued, std::chrono::steady_clock::now()), ok,
-                       degraded);
+                       degraded, kind_of(job.req));
 }
 
 void ServeSession::emit_line(const Emit& emit, const std::string& line) {
@@ -254,6 +338,21 @@ std::string ServeSession::stats_json() const {
     out += ",\"served_ok\":" + std::to_string(s.served_ok);
     out += ",\"failed\":" + std::to_string(s.failed);
     out += ",\"degraded\":" + std::to_string(s.degraded);
+    const auto type_json = [](const TypeCounters& t) {
+        std::string o = "{";
+        o += "\"received\":" + std::to_string(t.received);
+        o += ",\"rejected\":" + std::to_string(t.rejected);
+        o += ",\"admitted\":" + std::to_string(t.admitted);
+        o += ",\"served_ok\":" + std::to_string(t.served_ok);
+        o += ",\"failed\":" + std::to_string(t.failed);
+        o += ",\"degraded\":" + std::to_string(t.degraded);
+        o += "}";
+        return o;
+    };
+    out += ",\"by_type\":{\"synthesize\":" +
+           type_json(s.by_type[static_cast<int>(ReqKind::synthesize)]);
+    out += ",\"scenario\":" + type_json(s.by_type[static_cast<int>(ReqKind::scenario)]);
+    out += ",\"stats\":{\"served\":" + std::to_string(s.stats_served) + "}}";
     out += ",\"p50_ms\":" + json_number(s.p50_ms);
     out += ",\"p99_ms\":" + json_number(s.p99_ms);
     out += ",\"mean_ms\":" + json_number(s.mean_ms);

@@ -7,9 +7,14 @@
 
 namespace ctsim::serve {
 
-void ServerStats::record_done(double latency_ms, bool ok, bool degraded) {
+void ServerStats::record_done(double latency_ms, bool ok, bool degraded, ReqKind k) {
     (ok ? served_ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
-    if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+    AtomicTypeCounters& t = type_[idx(k)];
+    (ok ? t.served_ok : t.failed).fetch_add(1, std::memory_order_relaxed);
+    if (degraded) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        t.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (window_.size() < kWindow) {
         window_.push_back(latency_ms);
@@ -31,6 +36,15 @@ StatsSnapshot ServerStats::snapshot() const {
     s.served_ok = served_ok_.load(std::memory_order_relaxed);
     s.failed = failed_.load(std::memory_order_relaxed);
     s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.stats_served = stats_served_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < 2; ++i) {
+        s.by_type[i].received = type_[i].received.load(std::memory_order_relaxed);
+        s.by_type[i].rejected = type_[i].rejected.load(std::memory_order_relaxed);
+        s.by_type[i].admitted = type_[i].admitted.load(std::memory_order_relaxed);
+        s.by_type[i].served_ok = type_[i].served_ok.load(std::memory_order_relaxed);
+        s.by_type[i].failed = type_[i].failed.load(std::memory_order_relaxed);
+        s.by_type[i].degraded = type_[i].degraded.load(std::memory_order_relaxed);
+    }
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (!window_.empty()) {

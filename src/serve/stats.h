@@ -17,15 +17,37 @@
 
 namespace ctsim::serve {
 
+/// Request family a worker-queue request belongs to, for the
+/// per-type counter split. Saturation triage needs to tell cheap
+/// re-time scenario samples from full syntheses; one aggregate
+/// cannot. (stats/shutdown bypass the queue; only their serve count
+/// is tracked.)
+enum class ReqKind : int { synthesize = 0, scenario = 1 };
+
+/// Per-request-type slice of the counters.
+struct TypeCounters {
+    std::uint64_t received{0};
+    std::uint64_t rejected{0};
+    std::uint64_t admitted{0};
+    std::uint64_t served_ok{0};
+    std::uint64_t failed{0};
+    std::uint64_t degraded{0};
+};
+
 /// Point-in-time aggregate for a `stats` response / bench report.
+/// The top-level counters stay the cross-type totals (the bench
+/// harness and the regression gate consume them); `by_type` is the
+/// per-request-type split.
 struct StatsSnapshot {
-    std::uint64_t received{0};   ///< lines that parsed as requests
+    std::uint64_t received{0};   ///< lines that parsed as queue requests
     std::uint64_t malformed{0};  ///< lines rejected at parse time
     std::uint64_t rejected{0};   ///< admission refusals (queue/budget)
     std::uint64_t admitted{0};   ///< entered the worker queue
-    std::uint64_t served_ok{0};  ///< completed with a valid tree
+    std::uint64_t served_ok{0};  ///< completed with a valid result
     std::uint64_t failed{0};     ///< completed with a typed error
     std::uint64_t degraded{0};   ///< served_ok but deadline/memory degraded
+    TypeCounters by_type[2];     ///< indexed by ReqKind
+    std::uint64_t stats_served{0};  ///< stats/shutdown responses (no queue)
     double p50_ms{0.0};
     double p99_ms{0.0};
     double mean_ms{0.0};
@@ -35,19 +57,39 @@ struct StatsSnapshot {
 
 class ServerStats {
   public:
-    void count_received() { received_.fetch_add(1, std::memory_order_relaxed); }
+    void count_received(ReqKind k) {
+        received_.fetch_add(1, std::memory_order_relaxed);
+        type_[idx(k)].received.fetch_add(1, std::memory_order_relaxed);
+    }
     void count_malformed() { malformed_.fetch_add(1, std::memory_order_relaxed); }
-    void count_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-    void count_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+    void count_rejected(ReqKind k) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        type_[idx(k)].rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_admitted(ReqKind k) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        type_[idx(k)].admitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_stats_served() { stats_served_.fetch_add(1, std::memory_order_relaxed); }
 
     /// Record a completed request: its end-to-end latency (queue wait
-    /// included) and how it ended.
-    void record_done(double latency_ms, bool ok, bool degraded);
+    /// included), how it ended, and which request family it was.
+    void record_done(double latency_ms, bool ok, bool degraded, ReqKind k);
 
     StatsSnapshot snapshot() const;
 
   private:
     static constexpr std::size_t kWindow = 65536;
+
+    struct AtomicTypeCounters {
+        std::atomic<std::uint64_t> received{0};
+        std::atomic<std::uint64_t> rejected{0};
+        std::atomic<std::uint64_t> admitted{0};
+        std::atomic<std::uint64_t> served_ok{0};
+        std::atomic<std::uint64_t> failed{0};
+        std::atomic<std::uint64_t> degraded{0};
+    };
+    static std::size_t idx(ReqKind k) { return static_cast<std::size_t>(k); }
 
     std::atomic<std::uint64_t> received_{0};
     std::atomic<std::uint64_t> malformed_{0};
@@ -56,6 +98,8 @@ class ServerStats {
     std::atomic<std::uint64_t> served_ok_{0};
     std::atomic<std::uint64_t> failed_{0};
     std::atomic<std::uint64_t> degraded_{0};
+    std::atomic<std::uint64_t> stats_served_{0};
+    AtomicTypeCounters type_[2];
 
     mutable std::mutex mu_;
     std::vector<double> window_;      // ring of the newest kWindow latencies

@@ -152,6 +152,47 @@ TEST(ServeRequestTest, NumThreadsIsNotATenantKnob) {
     expect_invalid(R"({"bench":"r1","options":{"num_threads":8}})");
 }
 
+TEST(ServeRequestTest, SchemaVersioning) {
+    // Absent means version 1; declared 1 and 2 are accepted verbatim.
+    EXPECT_EQ(serve::parse_request(R"({"bench":"r1"})").schema_version, 1);
+    EXPECT_EQ(serve::parse_request(R"({"bench":"r1","schema_version":1})")
+                  .schema_version,
+              1);
+    EXPECT_EQ(serve::parse_request(R"({"bench":"r1","schema_version":2})")
+                  .schema_version,
+              2);
+    // stats/shutdown accept the key too.
+    EXPECT_EQ(serve::parse_request(R"({"type":"stats","schema_version":2})")
+                  .schema_version,
+              2);
+
+    // Above the ceiling, non-integer, or below the floor: typed
+    // invalid_input, never silent half-service.
+    expect_invalid(R"({"bench":"r1","schema_version":3})");
+    expect_invalid(R"({"bench":"r1","schema_version":1.5})");
+    expect_invalid(R"({"bench":"r1","schema_version":"two"})");
+    expect_invalid(R"({"bench":"r1","schema_version":0})");
+}
+
+TEST(ServeRequestTest, ScenarioRequestsRequireVersionTwo) {
+    const std::string body =
+        R"(,"synthetic":{"sinks":20},"scenario":{"mode":"nominal"}})";
+    // Declared v2 parses.
+    const Request req =
+        serve::parse_request(R"({"type":"scenario","schema_version":2)" + body);
+    EXPECT_EQ(req.type, serve::RequestType::scenario);
+    EXPECT_EQ(req.scenario.mode, cts::ScenarioMode::nominal);
+    // Undeclared (=1) or explicit v1: the feature is versioned.
+    expect_invalid(R"({"type":"scenario")" + body);
+    expect_invalid(R"({"type":"scenario","schema_version":1)" + body);
+    // A scenario request must carry the scenario object, and the
+    // object is only valid on a scenario request.
+    expect_invalid(R"({"type":"scenario","schema_version":2,)"
+                   R"("synthetic":{"sinks":20}})");
+    expect_invalid(R"({"schema_version":2,"synthetic":{"sinks":20},)"
+                   R"("scenario":{"mode":"nominal"}})");
+}
+
 TEST(ServeRequestTest, UnknownBenchAndMissingFileFailTyped) {
     const Request req = serve::parse_request(R"({"bench":"no_such_instance"})");
     EXPECT_THROW(serve::resolve_sinks(req), util::Error);

@@ -346,5 +346,96 @@ TEST(ServeSessionTest, PerRequestMemoryBudgetDegradesOnlyThatTenant) {
     }
 }
 
+TEST(ServeSessionTest, MixedSynthAndScenarioTenantsOverVersionedWire) {
+    ServeSession session(quick_config(2));
+    Capture cap;
+
+    // One scenario tenant (v2 wire) between two synthesis tenants
+    // (undeclared = v1): the pool serves both families concurrently.
+    const std::string synth =
+        R"({"id":%,"synthetic":{"sinks":40,"span_um":3000,"seed":2}})";
+    const auto synth_line = [&](int id) {
+        std::string l = synth;
+        l.replace(l.find('%'), 1, std::to_string(id));
+        return l;
+    };
+    const std::string scenario_line =
+        R"({"id":10,"type":"scenario","schema_version":2,)"
+        R"("synthetic":{"sinks":50,"span_um":4000,"seed":3},)"
+        R"("scenario":{"mode":"monte_carlo","samples":8,"seed":5}})";
+
+    EXPECT_TRUE(session.handle_line(synth_line(1), cap.emit()));
+    EXPECT_TRUE(session.handle_line(scenario_line, cap.emit()));
+    EXPECT_TRUE(session.handle_line(synth_line(2), cap.emit()));
+    session.drain();
+    ASSERT_EQ(cap.count(), 3u);
+
+    const std::vector<Json> responses = cap.parsed();
+    for (const double id : {1.0, 2.0}) {
+        const Json* r = find_by_id(responses, id);
+        ASSERT_NE(r, nullptr);
+        EXPECT_TRUE(r->find("ok")->as_bool());
+        EXPECT_EQ(r->find("schema_version")->as_number(), 1.0);  // undeclared
+    }
+
+    const Json* sr = find_by_id(responses, 10.0);
+    ASSERT_NE(sr, nullptr);
+    ASSERT_TRUE(sr->find("ok")->as_bool());
+    EXPECT_EQ(sr->find("schema_version")->as_number(), 2.0);
+
+    // The served yield must be BIT-IDENTICAL to a standalone
+    // run_scenario of the same spec under the session's option shape
+    // (one thread, metering-only budget); json_number round-trips
+    // doubles exactly, so EXPECT_EQ on the parsed values is exact.
+    bench_io::BenchmarkSpec bspec;
+    bspec.name = "synthetic";
+    bspec.sink_count = 50;
+    bspec.die_span_um = 4000.0;
+    bspec.seed = 3;
+    const auto sinks = bench_io::generate(bspec);
+    cts::SynthesisOptions opt;
+    opt.num_threads = 1;
+    util::MemoryBudget budget(0);
+    opt.memory_budget = &budget;
+    cts::ScenarioSpec spec;
+    spec.mode = cts::ScenarioMode::monte_carlo;
+    spec.samples = 8;
+    spec.variation.seed = 5;
+    spec.num_threads = 1;
+    const cts::ScenarioResult want =
+        cts::run_scenario(sinks, testutil::fitted_quick(), opt, spec);
+
+    const Json* sc = sr->find("scenario");
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->find("mode")->as_string(), "monte_carlo");
+    EXPECT_EQ(sc->find("yield_at_target")->as_number(), want.yield_at_target);
+    EXPECT_EQ(sc->find("nominal")->find("skew_ps")->as_number(),
+              want.nominal_skew_ps);
+    const Json* curve = sc->find("yield_curve_skew_ps");
+    ASSERT_NE(curve, nullptr);
+    ASSERT_TRUE(curve->is_array());
+    ASSERT_EQ(curve->items().size(), want.yield_curve_skew_ps.size());
+    for (std::size_t i = 0; i < want.yield_curve_skew_ps.size(); ++i)
+        EXPECT_EQ(curve->items()[i].as_number(), want.yield_curve_skew_ps[i]) << i;
+    ASSERT_EQ(sc->find("samples")->items().size(), 8u);
+
+    // Per-type accounting: the aggregates still see all three
+    // requests, and the split attributes them to the right family.
+    const serve::StatsSnapshot s = session.stats();
+    EXPECT_EQ(s.received, 3u);
+    EXPECT_EQ(s.served_ok, 3u);
+    const serve::TypeCounters& ts =
+        s.by_type[static_cast<int>(serve::ReqKind::synthesize)];
+    const serve::TypeCounters& tc =
+        s.by_type[static_cast<int>(serve::ReqKind::scenario)];
+    EXPECT_EQ(ts.received, 2u);
+    EXPECT_EQ(ts.admitted, 2u);
+    EXPECT_EQ(ts.served_ok, 2u);
+    EXPECT_EQ(tc.received, 1u);
+    EXPECT_EQ(tc.admitted, 1u);
+    EXPECT_EQ(tc.served_ok, 1u);
+    EXPECT_EQ(tc.failed, 0u);
+}
+
 }  // namespace
 }  // namespace ctsim

@@ -52,8 +52,27 @@ serving throughput harness):
     present in only one file (different nproc) are skipped with a
     note.
 
+An optional third pair of arguments gates BENCH_scenario.json (the
+scenario analysis harness):
+
+  * a missing, empty or malformed scenario BASELINE is flagged with a
+    note and the trend gate skipped (baselines predate the harness),
+    while a missing/malformed FRESH scenario file is a usage error;
+  * the fresh run must report threads_identical=true (the yield curve
+    is contractually bit-identical at any fan-out width) and an
+    mc_cost_ratio below MC_COST_CEILING (synthesize-once + re-time
+    must stay cheap relative to one synthesis -- the ratio is already
+    machine-normalized, wall over wall on the same box);
+  * yield_at_target must not drop below the baseline's (solution
+    robustness; machine independent, compared raw);
+  * sampling throughput is gated on mc_cost_ratio, not raw samples/s
+    (raw samples/s is machine speed; the ratio to one synthesis is
+    the algorithm), at the usual 15%. Fresh/baseline files from
+    different instances or sample counts are skipped with a note.
+
 usage: check_bench_regression.py <fresh.json> <baseline.json>
-           [<serve_fresh.json> <serve_baseline.json>]
+           [<serve_fresh.json> <serve_baseline.json>
+            [<scenario_fresh.json> <scenario_baseline.json>]]
 """
 
 import json
@@ -138,8 +157,80 @@ def check_serve(fresh_path, base_path, failures):
     return checked
 
 
+MC_COST_CEILING = 3.0
+SCENARIO_COST_REGRESSION = 1.15
+
+
+def check_scenario(fresh_path, base_path, failures):
+    """Gate the scenario harness pair. Returns checks performed, or a
+    negative value for a usage error (malformed FRESH file)."""
+    try:
+        fresh = json.load(open(fresh_path))
+        if not isinstance(fresh, dict):
+            raise ValueError("top-level value is not an object")
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load fresh scenario JSON: {exc}")
+        return -1
+    checked = 0
+
+    # Correctness gates on the fresh run stand alone -- they are the
+    # scenario contract (docs/scenarios.md), not a perf trend.
+    checked += 1
+    if not fresh.get("threads_identical", False):
+        failures.append(
+            "scenario: yield curve not bit-identical across fan-out widths")
+    ratio = fresh.get("mc_cost_ratio")
+    if ratio is None:
+        print("warning: fresh scenario run missing mc_cost_ratio; "
+              "cost-contract check skipped")
+    else:
+        checked += 1
+        if ratio >= MC_COST_CEILING:
+            failures.append(
+                f"scenario: mc_cost_ratio {ratio:.2f}x >= {MC_COST_CEILING:.0f}x "
+                f"(MC sampling must cost less than {MC_COST_CEILING:.0f} "
+                f"nominal syntheses)")
+
+    try:
+        base = json.load(open(base_path))
+        if not isinstance(base, dict) or "yield_at_target" not in base:
+            raise ValueError("no scenario metrics in baseline")
+    except (OSError, ValueError) as exc:
+        print(f"note: scenario baseline unusable ({exc}); trend gate skipped")
+        return checked
+
+    if (fresh.get("instance") != base.get("instance")
+            or fresh.get("samples") != base.get("samples")):
+        print(f"note: scenario fresh/baseline not comparable "
+              f"({fresh.get('instance')}/{fresh.get('samples')} vs "
+              f"{base.get('instance')}/{base.get('samples')}; quick run?), "
+              f"trend gate skipped")
+        return checked
+
+    fy, by = fresh.get("yield_at_target"), base.get("yield_at_target")
+    if fy is None:
+        print("warning: fresh scenario run missing yield_at_target; "
+              "yield check skipped")
+    else:
+        checked += 1
+        if fy < by:
+            failures.append(
+                f"scenario: yield(skew<=target) {by:.4f} -> {fy:.4f} "
+                f"(robustness under variation regressed)")
+
+    bratio = base.get("mc_cost_ratio")
+    if ratio is not None and bratio is not None and bratio > 0:
+        checked += 1
+        if ratio > bratio * SCENARIO_COST_REGRESSION:
+            failures.append(
+                f"scenario: mc_cost_ratio {bratio:.2f}x -> {ratio:.2f}x "
+                f"(+{100.0 * (ratio / bratio - 1.0):.1f}% > "
+                f"{100.0 * (SCENARIO_COST_REGRESSION - 1.0):.0f}%)")
+    return checked
+
+
 def main():
-    if len(sys.argv) not in (3, 5):
+    if len(sys.argv) not in (3, 5, 7):
         print(__doc__)
         return 2
     try:
@@ -153,11 +244,16 @@ def main():
 
     failures = []
     checked = 0
-    if len(sys.argv) == 5:
+    if len(sys.argv) >= 5:
         serve_checked = check_serve(sys.argv[3], sys.argv[4], failures)
         if serve_checked < 0:
             return 2
         checked += serve_checked
+    if len(sys.argv) == 7:
+        scenario_checked = check_scenario(sys.argv[5], sys.argv[6], failures)
+        if scenario_checked < 0:
+            return 2
+        checked += scenario_checked
     agg = {}  # mode -> [fresh_norm_sum, base_norm_sum]
     for name, b in base.items():
         f = fresh.get(name)

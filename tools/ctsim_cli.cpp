@@ -19,6 +19,7 @@
 //   6  resource exhaustion
 //   7  deadline exceeded with no usable result
 //  10  internal error
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "bench_io/synthetic.h"
 #include "circuit/spice_writer.h"
 #include "cts/checkpoint.h"
+#include "cts/scenario.h"
 #include "cts/synthesizer.h"
 #include "delaylib/fitted_library.h"
 #include "sim/netlist_sim.h"
@@ -67,7 +69,17 @@ void usage() {
         "                      $XDG_CACHE_HOME/ctsim or ~/.cache/ctsim -- never the\n"
         "                      current directory)\n"
         "  --spice FILE        export the verified netlist as a SPICE deck\n"
-        "  --quiet             only print the summary line\n");
+        "  --quiet             only print the summary line\n"
+        "scenario analysis (docs/scenarios.md; replaces the verify/SPICE path):\n"
+        "  --scenario MODE     nominal | corners | monte_carlo | pareto_sweep\n"
+        "  --samples N         monte_carlo sample count (default 64)\n"
+        "  --scenario-seed K   variation seed (default 1); same seed, same curve\n"
+        "  --wire-r-pct P      wire resistance variation half-range %% (default 5)\n"
+        "  --wire-c-pct P      wire capacitance variation half-range %% (default 5)\n"
+        "  --buffer-drive-pct P  buffer drive variation half-range %% (default 5)\n"
+        "  --yield-target-ps PS  skew target for the reported yield (default 10)\n"
+        "  --pareto-tols A,B,..  reclaim tolerances swept by pareto_sweep\n"
+        "  --scenario-threads N  sample fan-out threads (0 = hardware; default 1)\n");
 }
 
 /// Map a structured error to its documented exit status.
@@ -98,6 +110,8 @@ int main(int argc, char** argv) {
     std::string library_path = "ctsim_delaylib_45nm.cache";
     cts::SynthesisOptions opt;
     bool quiet = false;
+    std::string scenario_mode;
+    cts::ScenarioSpec scenario;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -121,6 +135,29 @@ int main(int argc, char** argv) {
         else if (a == "--cache-dir") setenv("CTSIM_CACHE_DIR", next(), 1);
         else if (a == "--spice") spice_file = next();
         else if (a == "--quiet") quiet = true;
+        else if (a == "--scenario") scenario_mode = next();
+        else if (a == "--samples") scenario.samples = std::atoi(next());
+        else if (a == "--scenario-seed")
+            scenario.variation.seed = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--wire-r-pct") scenario.variation.wire_r_pct = std::atof(next());
+        else if (a == "--wire-c-pct") scenario.variation.wire_c_pct = std::atof(next());
+        else if (a == "--buffer-drive-pct")
+            scenario.variation.buffer_drive_pct = std::atof(next());
+        else if (a == "--yield-target-ps") scenario.skew_target_ps = std::atof(next());
+        else if (a == "--scenario-threads") scenario.num_threads = std::atoi(next());
+        else if (a == "--pareto-tols") {
+            scenario.pareto_tols.clear();
+            const std::string list = next();
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string tok =
+                    list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+                if (!tok.empty()) scenario.pareto_tols.push_back(std::atof(tok.c_str()));
+                if (comma == std::string::npos) break;
+                pos = comma + 1;
+            }
+        }
         else if (a == "--hstructure") {
             const std::string m = next();
             if (m == "off") opt.hstructure = cts::HStructureMode::off;
@@ -201,6 +238,52 @@ int main(int argc, char** argv) {
     if (!quiet)
         std::printf("%s: %zu sinks, slew target %.0f ps (limit %.0f ps)\n", label.c_str(),
                     sinks.size(), opt.slew_target_ps, opt.slew_limit_ps);
+
+    if (!scenario_mode.empty()) {
+        if (scenario_mode == "nominal") scenario.mode = cts::ScenarioMode::nominal;
+        else if (scenario_mode == "corners") scenario.mode = cts::ScenarioMode::corners;
+        else if (scenario_mode == "monte_carlo")
+            scenario.mode = cts::ScenarioMode::monte_carlo;
+        else if (scenario_mode == "pareto_sweep")
+            scenario.mode = cts::ScenarioMode::pareto_sweep;
+        else {
+            std::fprintf(stderr, "unknown scenario mode '%s'\n", scenario_mode.c_str());
+            return 2;
+        }
+        cts::ScenarioResult sr;
+        try {
+            sr = cts::run_scenario(sinks, *model, opt, scenario);
+        } catch (const util::Error& e) {
+            die(e);
+        }
+        if (!quiet) {
+            std::printf("scenario %s: seed %u, %zu samples\n",
+                        cts::scenario_mode_name(sr.mode), scenario.variation.seed,
+                        sr.samples.size());
+            std::printf("nominal: skew=%.3fps latency=%.3fps wire=%.2fmm "
+                        "buffers=%d levels=%d\n",
+                        sr.nominal_skew_ps, sr.nominal_latency_ps,
+                        sr.nominal_wirelength_um / 1000.0, sr.buffers, sr.levels);
+        }
+        if (!sr.yield_curve_skew_ps.empty()) {
+            const std::vector<double>& c = sr.yield_curve_skew_ps;
+            const auto at = [&](double q) {
+                std::size_t i = static_cast<std::size_t>(q * static_cast<double>(c.size()));
+                return c[std::min(i, c.size() - 1)];
+            };
+            std::printf("skew quantiles: p50=%.3fps p90=%.3fps p100=%.3fps\n", at(0.50),
+                        at(0.90), c.back());
+        }
+        for (const cts::ParetoPoint& p : sr.pareto)
+            std::printf("pareto tol=%.2fps skew=%.3fps wire=%.2fmm%s\n", p.reclaim_tol_ps,
+                        p.skew_ps, p.wirelength_um / 1000.0,
+                        p.on_frontier ? " [frontier]" : " (dominated)");
+        std::printf("%s: yield(skew<=%.1fps)=%.4f over %zu sample%s\n", label.c_str(),
+                    scenario.skew_target_ps, sr.yield_at_target,
+                    std::max<std::size_t>(sr.samples.size(), 1),
+                    sr.samples.size() == 1 ? "" : "s");
+        return 0;
+    }
 
     std::unique_ptr<cts::Checkpointer> checkpoint;
     if (!checkpoint_dir.empty()) {

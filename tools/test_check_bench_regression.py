@@ -320,6 +320,130 @@ def test_serve_malformed_fresh_is_a_usage_error():
     assert "cannot load" in out
 
 
+# --- scenario harness gate (optional third argument pair) -------------------
+
+def make_scenario(cost_ratio=2.0, yield_at=0.8, identical=True,
+                  instance="scal_n800", samples=64):
+    return {"benchmark": "ctsim_scenario", "instance": instance,
+            "sinks": 800, "samples": samples,
+            "nominal_wall_s": 0.1, "mc_wall_s": 0.1 * cost_ratio,
+            "mc_cost_ratio": cost_ratio,
+            "samples_per_s": samples / (0.1 * cost_ratio),
+            "skew_target_ps": 10.0, "yield_at_target": yield_at,
+            "nominal_skew_ps": 3.0, "threads_identical": identical,
+            "pareto_points": 6, "frontier_points": 2,
+            "frontier_skew_extent_ps": 0.5, "frontier_wire_extent_um": 100.0}
+
+
+def run_guard_with_scenario(sc_fresh, sc_base, raw_sc_base=None,
+                            sc_base_missing=False):
+    doc = {"instances": [make_instance("a")]}
+    serve = make_serve([(1, 10.0), (2, 18.0)])
+    with tempfile.TemporaryDirectory() as td:
+        paths = {n: os.path.join(td, n + ".json")
+                 for n in ("fresh", "base", "sfresh", "sbase", "cfresh", "cbase")}
+        for name, payload in (("fresh", doc), ("base", doc),
+                              ("sfresh", serve), ("sbase", serve)):
+            with open(paths[name], "w") as f:
+                json.dump(payload, f)
+        with open(paths["cfresh"], "w") as f:
+            json.dump(sc_fresh, f)
+        if not sc_base_missing:
+            with open(paths["cbase"], "w") as f:
+                f.write(raw_sc_base if raw_sc_base is not None
+                        else json.dumps(sc_base))
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, paths["fresh"], paths["base"],
+             paths["sfresh"], paths["sbase"], paths["cfresh"], paths["cbase"]],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def test_scenario_identical_runs_pass():
+    doc = make_scenario()
+    rc, out = run_guard_with_scenario(doc, doc)
+    assert rc == 0, out
+
+
+def test_scenario_missing_baseline_is_noted_and_skipped():
+    # The PR that introduces the scenario harness has no committed
+    # baseline yet; the guard must flag the skip, not crash or fail.
+    rc, out = run_guard_with_scenario(make_scenario(), None,
+                                      sc_base_missing=True)
+    assert rc == 0, out
+    assert "scenario baseline unusable" in out
+    assert "Traceback" not in out
+
+
+def test_scenario_malformed_baseline_is_noted_and_skipped():
+    rc, out = run_guard_with_scenario(make_scenario(), None,
+                                      raw_sc_base="{not json")
+    assert rc == 0, out
+    assert "scenario baseline unusable" in out
+    assert "Traceback" not in out
+
+
+def test_scenario_identity_violation_fails_even_without_baseline():
+    rc, out = run_guard_with_scenario(make_scenario(identical=False), None,
+                                      sc_base_missing=True)
+    assert rc == 1, out
+    assert "bit-identical" in out
+
+
+def test_scenario_cost_ceiling_fails_even_without_baseline():
+    # The < 3x contract is absolute, not a trend vs baseline.
+    rc, out = run_guard_with_scenario(make_scenario(cost_ratio=3.4), None,
+                                      sc_base_missing=True)
+    assert rc == 1, out
+    assert "mc_cost_ratio" in out
+
+
+def test_scenario_yield_regression_fails():
+    base = make_scenario(yield_at=0.85)
+    fresh = make_scenario(yield_at=0.80)
+    rc, out = run_guard_with_scenario(fresh, base)
+    assert rc == 1, out
+    assert "yield" in out
+
+
+def test_scenario_yield_improvement_passes():
+    base = make_scenario(yield_at=0.80)
+    fresh = make_scenario(yield_at=0.85)
+    rc, out = run_guard_with_scenario(fresh, base)
+    assert rc == 0, out
+
+
+def test_scenario_cost_ratio_regression_fails_beyond_15_percent():
+    base = make_scenario(cost_ratio=2.0)
+    fresh = make_scenario(cost_ratio=2.4)  # +20% > 15%, still < 3x ceiling
+    rc, out = run_guard_with_scenario(fresh, base)
+    assert rc == 1, out
+    assert "mc_cost_ratio" in out
+
+
+def test_scenario_cost_ratio_within_15_percent_passes():
+    base = make_scenario(cost_ratio=2.0)
+    fresh = make_scenario(cost_ratio=2.2)  # +10%
+    rc, out = run_guard_with_scenario(fresh, base)
+    assert rc == 0, out
+
+
+def test_scenario_quick_fresh_vs_full_baseline_is_skipped():
+    # A quick (CI smoke) fresh run is a different instance/sample
+    # count; the trend gate must skip it with a note, not compare.
+    base = make_scenario(instance="scal_n800", samples=64, yield_at=0.99)
+    fresh = make_scenario(instance="scal_n200", samples=16, yield_at=0.50)
+    rc, out = run_guard_with_scenario(fresh, base)
+    assert rc == 0, out
+    assert "not comparable" in out
+
+
+def test_scenario_malformed_fresh_is_a_usage_error():
+    rc, out = run_guard_with_scenario(None, make_scenario())
+    assert rc == 2, out
+    assert "cannot load fresh scenario" in out
+
+
 if __name__ == "__main__":
     failures = 0
     for name, fn in sorted(globals().items()):
